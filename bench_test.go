@@ -1,0 +1,282 @@
+// Package repro's benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation, plus one per ablation from
+// DESIGN.md §4. Each benchmark regenerates its result through the
+// corresponding internal/experiments driver and logs the table; run
+//
+//	go test -bench=. -benchmem
+//
+// to reproduce the whole evaluation. Heavy sweeps run reduced but
+// representative parameter subsets (the full sweeps are available via
+// cmd/reproduce); custom metrics surface each benchmark's headline
+// numbers so regressions are visible in benchstat output.
+package repro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// runDriver executes an experiment driver b.N times, logging the table
+// once.
+func runDriver(b *testing.B, fn func() (*experiments.Table, error)) *experiments.Table {
+	b.Helper()
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var sb strings.Builder
+	tab.Render(&sb)
+	b.Log("\n" + sb.String())
+	return tab
+}
+
+// metric parses a numeric cell ("12.34%", "0.987", "42") for
+// b.ReportMetric.
+func metric(s string) float64 {
+	s = strings.TrimSuffix(s, "%")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// findRow locates a row by its leading key cells.
+func findRow(tab *experiments.Table, keys ...string) []string {
+	for _, row := range tab.Rows {
+		ok := true
+		for i, k := range keys {
+			if i >= len(row) || row[i] != k {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return row
+		}
+	}
+	return nil
+}
+
+// reducedStream shrinks the measured phase for benchmark runs and
+// restores it afterwards.
+func reducedStream(b *testing.B, n uint64) {
+	b.Helper()
+	old := experiments.StreamLen
+	experiments.StreamLen = n
+	b.Cleanup(func() { experiments.StreamLen = old })
+}
+
+// --- paper figures and tables ---
+
+func BenchmarkFig1bRepeatedRuns(b *testing.B) {
+	tab := runDriver(b, experiments.Fig1b)
+	if row := findRow(tab, "10"); row != nil {
+		b.ReportMetric(metric(row[1]), "eager-cov32-run10")
+		b.ReportMetric(metric(row[2]), "ca-cov32-run10")
+	}
+}
+
+func BenchmarkFig1cRangerTimeline(b *testing.B) {
+	tab := runDriver(b, experiments.Fig1c)
+	if len(tab.Rows) > 0 {
+		mid := tab.Rows[len(tab.Rows)/2]
+		b.ReportMetric(metric(mid[1]), "ca-cov32-mid")
+		b.ReportMetric(metric(mid[2]), "ranger-cov32-mid")
+	}
+}
+
+func BenchmarkTable1RangesAnchors(b *testing.B) {
+	tab := runDriver(b, func() (*experiments.Table, error) {
+		return experiments.Table1For([]string{"svm", "pagerank", "hashjoin"})
+	})
+	if row := findRow(tab, "pagerank"); row != nil {
+		b.ReportMetric(metric(row[3]), "ca-ranges")
+		b.ReportMetric(metric(row[4]), "ca-anchors")
+	}
+}
+
+func BenchmarkFig7NativeContiguity(b *testing.B) {
+	tab := runDriver(b, func() (*experiments.Table, error) {
+		return experiments.Fig7For([]string{"svm", "pagerank", "bt"}, experiments.AllPolicies())
+	})
+	if row := findRow(tab, "pagerank", "ca"); row != nil {
+		b.ReportMetric(metric(row[4]), "ca-maps99")
+	}
+	if row := findRow(tab, "pagerank", "thp"); row != nil {
+		b.ReportMetric(metric(row[4]), "thp-maps99")
+	}
+}
+
+func BenchmarkFig8Fragmentation(b *testing.B) {
+	tab := runDriver(b, func() (*experiments.Table, error) {
+		return experiments.Fig8Sweep(
+			[]float64{0, 0.3, 0.5},
+			[]string{"svm", "pagerank"},
+			[]experiments.PolicyName{experiments.PolicyCA, experiments.PolicyEager, experiments.PolicyIdeal})
+	})
+	if row := findRow(tab, "hog-50%", "ca"); row != nil {
+		b.ReportMetric(metric(row[3]), "ca-cov128-hog50")
+	}
+	if row := findRow(tab, "hog-50%", "eager"); row != nil {
+		b.ReportMetric(metric(row[3]), "eager-cov128-hog50")
+	}
+}
+
+func BenchmarkFig9FreeBlocks(b *testing.B) {
+	tab := runDriver(b, experiments.Fig9)
+	if row := findRow(tab, "ca"); row != nil {
+		b.ReportMetric(metric(row[4]), "ca-largest-class-frac")
+	}
+}
+
+func BenchmarkFig10MultiProgram(b *testing.B) {
+	tab := runDriver(b, experiments.Fig10)
+	if row := findRow(tab, "ca"); row != nil {
+		b.ReportMetric(metric(row[1]), "ca-instanceA-cov32")
+	}
+}
+
+func BenchmarkFig11SoftwareOverhead(b *testing.B) {
+	tab := runDriver(b, func() (*experiments.Table, error) {
+		return experiments.Fig11For([]string{"pagerank", "xsbench"})
+	})
+	if row := findRow(tab, "pagerank"); row != nil {
+		b.ReportMetric(metric(row[3]), "ca-normalized")
+		b.ReportMetric(metric(row[5]), "ranger-normalized")
+	}
+}
+
+func BenchmarkTable5FaultLatency(b *testing.B) {
+	tab := runDriver(b, func() (*experiments.Table, error) {
+		return experiments.Table5For([]string{"pagerank", "xsbench"})
+	})
+	if row := findRow(tab, "ca"); row != nil {
+		b.ReportMetric(metric(row[2]), "ca-p99-us")
+	}
+	if row := findRow(tab, "eager"); row != nil {
+		b.ReportMetric(metric(row[2]), "eager-p99-us")
+	}
+}
+
+func BenchmarkTable6Bloat(b *testing.B) {
+	tab := runDriver(b, func() (*experiments.Table, error) {
+		return experiments.Table6For([]string{"svm", "hashjoin"})
+	})
+	_ = tab
+}
+
+func BenchmarkFig12VirtContiguity(b *testing.B) {
+	tab := runDriver(b, func() (*experiments.Table, error) {
+		return experiments.Fig12For([]string{"svm", "pagerank", "hashjoin"})
+	})
+	if row := findRow(tab, "pagerank", "ca"); row != nil {
+		b.ReportMetric(metric(row[4]), "ca-2d-maps99")
+	}
+}
+
+func BenchmarkFig13TranslationOverhead(b *testing.B) {
+	reducedStream(b, 400_000)
+	tab := runDriver(b, func() (*experiments.Table, error) {
+		return experiments.Fig13For([]string{"pagerank", "xsbench"})
+	})
+	if row := findRow(tab, "pagerank"); row != nil {
+		b.ReportMetric(metric(row[4]), "vthp-overhead-pct")
+		b.ReportMetric(metric(row[5]), "spot-overhead-pct")
+	}
+}
+
+func BenchmarkFig14SpotBreakdown(b *testing.B) {
+	reducedStream(b, 400_000)
+	tab := runDriver(b, func() (*experiments.Table, error) {
+		return experiments.Fig14For([]string{"pagerank", "hashjoin", "svm"})
+	})
+	if row := findRow(tab, "pagerank"); row != nil {
+		b.ReportMetric(metric(row[1]), "pagerank-correct-pct")
+	}
+	if row := findRow(tab, "hashjoin"); row != nil {
+		b.ReportMetric(metric(row[2]), "hashjoin-mispred-pct")
+	}
+}
+
+func BenchmarkTable7USL(b *testing.B) {
+	reducedStream(b, 300_000)
+	tab := runDriver(b, func() (*experiments.Table, error) {
+		return experiments.Table7For([]string{"pagerank", "hashjoin"})
+	})
+	if len(tab.Rows) > 0 {
+		b.ReportMetric(metric(tab.Rows[0][2]), "spectre-usl-pct")
+		b.ReportMetric(metric(tab.Rows[0][3]), "spot-usl-pct")
+	}
+}
+
+// --- ablations (DESIGN.md §4) ---
+
+func BenchmarkAblationPlacementPolicy(b *testing.B) {
+	tab := runDriver(b, experiments.AblationPlacement)
+	if row := findRow(tab, "next-fit"); row != nil {
+		b.ReportMetric(metric(row[1]), "nextfit-maps99")
+	}
+	if row := findRow(tab, "first-fit"); row != nil {
+		b.ReportMetric(metric(row[1]), "firstfit-maps99")
+	}
+}
+
+func BenchmarkAblationSortedMaxOrder(b *testing.B) {
+	tab := runDriver(b, experiments.AblationSortedMaxOrder)
+	if row := findRow(tab, "true"); row != nil {
+		b.ReportMetric(metric(row[1]), "sorted-largest-MiB")
+	}
+}
+
+func BenchmarkAblationOffsetBudget(b *testing.B) {
+	tab := runDriver(b, experiments.AblationOffsetBudget)
+	if row := findRow(tab, "64"); row != nil {
+		b.ReportMetric(metric(row[1]), "budget64-maps99")
+	}
+}
+
+func BenchmarkAblationSpotConfidence(b *testing.B) {
+	reducedStream(b, 300_000)
+	tab := runDriver(b, experiments.AblationSpotConfidence)
+	if row := findRow(tab, "no confidence"); row != nil {
+		b.ReportMetric(metric(row[2]), "noconf-mispred-pct")
+	}
+}
+
+func BenchmarkAblationSpotGeometry(b *testing.B) {
+	reducedStream(b, 200_000)
+	tab := runDriver(b, experiments.AblationSpotGeometry)
+	if row := findRow(tab, "32x4"); row != nil {
+		b.ReportMetric(metric(row[1]), "32x4-correct-pct")
+	}
+}
+
+// --- extensions beyond the paper's figures ---
+
+func BenchmarkExtraShadowPaging(b *testing.B) {
+	reducedStream(b, 300_000)
+	tab := runDriver(b, func() (*experiments.Table, error) {
+		return experiments.ExtraShadowFor([]string{"pagerank"})
+	})
+	if row := findRow(tab, "pagerank"); row != nil {
+		b.ReportMetric(metric(row[1]), "nested-overhead-pct")
+		b.ReportMetric(metric(row[2]), "shadow-overhead-pct")
+	}
+}
+
+func BenchmarkExtraReservation(b *testing.B) {
+	runDriver(b, experiments.ExtraReservation)
+}
+
+func BenchmarkExtraFiveLevel(b *testing.B) {
+	reducedStream(b, 300_000)
+	tab := runDriver(b, experiments.ExtraFiveLevel)
+	if row := findRow(tab, "5"); row != nil {
+		b.ReportMetric(metric(row[1]), "5level-vthp-pct")
+	}
+}

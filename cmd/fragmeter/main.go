@@ -1,0 +1,62 @@
+// Command fragmeter sweeps external-fragmentation pressure (the hog
+// micro-benchmark) and reports how each placement policy's contiguity
+// degrades — an interactive version of the paper's Fig. 8.
+//
+// Usage:
+//
+//	fragmeter -workload pagerank -policies ca,eager,ideal -steps 0,25,50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name     = flag.String("workload", "pagerank", "svm|pagerank|hashjoin|xsbench|bt")
+		policies = flag.String("policies", "ca,eager,ideal", "comma-separated policies")
+		steps    = flag.String("steps", "0,10,20,30,40,50", "hog pressure percentages")
+		seed     = flag.Int64("seed", 42, "hog placement seed")
+	)
+	flag.Parse()
+
+	w := workloads.ByName(*name)
+	if w == nil {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
+		os.Exit(1)
+	}
+	fmt.Printf("%-10s %-8s %-8s %-8s %-8s\n", "pressure", "policy", "cov32", "cov128", "maps99")
+	for _, stepStr := range strings.Split(*steps, ",") {
+		pctv, err := strconv.Atoi(strings.TrimSpace(stepStr))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad step %q\n", stepStr)
+			os.Exit(1)
+		}
+		for _, policy := range strings.Split(*policies, ",") {
+			policy = strings.TrimSpace(policy)
+			// Single zone (NUMA off), like the paper's pressure study.
+			sys, err := core.NewNativeSystem(core.Config{Policy: policy, ZonesMiB: []int{1280}})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			workloads.Hog(sys.Kernel.Machine, float64(pctv)/100, rand.New(rand.NewSource(*seed)))
+			env := sys.NewEnv()
+			if err := core.Setup(env, workloads.ByName(*name), 1); err != nil {
+				fmt.Fprintf(os.Stderr, "%s@%d%%: %v\n", policy, pctv, err)
+				os.Exit(1)
+			}
+			rep := core.Contiguity(env)
+			fmt.Printf("%-10s %-8s %-8.3f %-8.3f %-8d\n",
+				fmt.Sprintf("hog-%d%%", pctv), policy, rep.Cov32, rep.Cov128, rep.Maps99)
+		}
+	}
+}

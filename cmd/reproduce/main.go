@@ -1,0 +1,58 @@
+// Command reproduce regenerates the paper's evaluation tables and
+// figures from the simulator. Each experiment prints the same
+// rows/series the paper reports (scaled; see DESIGN.md).
+//
+// Usage:
+//
+//	reproduce -list
+//	reproduce -exp fig7
+//	reproduce -exp all [-stream 1000000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		list   = flag.Bool("list", false, "list experiment ids")
+		stream = flag.Uint64("stream", 1_000_000, "measured-phase accesses for translation experiments")
+	)
+	flag.Parse()
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+	experiments.StreamLen = *stream
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		driver, err := experiments.Lookup(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tab, err := driver()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		tab.Render(os.Stdout)
+		fmt.Printf("(%s took %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Enhancing and
+// Exploiting Contiguity for Fast Memory Virtualization" (ISCA 2020):
+// contiguity-aware (CA) paging in a simulated OS memory manager plus
+// the SpOT speculative offset-based translation hardware, evaluated
+// against eager paging, Translation Ranger, Ingens, ideal placement,
+// vRMM, and Direct Segments.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The library API lives
+// in internal/core; the per-figure drivers in internal/experiments;
+// bench_test.go regenerates every table and figure.
+package repro

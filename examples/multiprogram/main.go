@@ -1,0 +1,55 @@
+// Multiprogram: two processes populating memory concurrently (time-
+// sliced bursts). CA paging's next-fit placement directs each process
+// past the other's planned region instead of into it, keeping both
+// footprints contiguous — the paper's Fig. 10 scenario.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/mem/addr"
+)
+
+const (
+	footprint = 96 << 20 // per process
+	burst     = 8 << 20  // one scheduling quantum's worth of faults
+)
+
+func main() {
+	for _, policy := range []string{"default", "ca"} {
+		sys, err := core.NewNativeSystem(core.Config{Policy: policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		envA, envB := sys.NewEnv(), sys.NewEnv()
+		vmaA, err := envA.MMap(footprint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vmaB, err := envB.MMap(footprint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Interleave the two processes' population burst by burst, the
+		// way a scheduler would interleave their demand faults.
+		for off := uint64(0); off < footprint; off += burst {
+			for o := off; o < off+burst && o < footprint; o += addr.PageSize {
+				if err := envA.Touch(vmaA.Start.Add(o), true); err != nil {
+					log.Fatal(err)
+				}
+			}
+			for o := off; o < off+burst && o < footprint; o += addr.PageSize {
+				if err := envB.Touch(vmaB.Start.Add(o), true); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		repA, repB := core.Contiguity(envA), core.Contiguity(envB)
+		fmt.Printf("%-8s: process A %3d mappings (cov32 %.2f), process B %3d mappings (cov32 %.2f)\n",
+			policy, len(repA.Mappings), repA.Cov32, len(repB.Mappings), repB.Cov32)
+	}
+	fmt.Println()
+	fmt.Println("Next-fit placement defers the race: each process gets its own region.")
+}

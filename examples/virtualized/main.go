@@ -1,0 +1,51 @@
+// Virtualized: the paper's headline experiment in miniature. A VM runs
+// with CA paging in the guest AND host kernels; the hardware emulation
+// drives the workload's measured phase through the nested-paging TLB
+// path with SpOT predicting translations. Compare the nested-walk
+// overhead against what survives under SpOT.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fmt.Println("workload   2D-maps  vTHP-overhead  SpOT-overhead  correct  mispred")
+	for _, name := range []string{"pagerank", "xsbench", "hashjoin"} {
+		// Host: 2x640 MiB zones. VM: 768 MiB over 2 guest zones.
+		// CA paging independently in both dimensions (§III-C).
+		sys, err := core.NewVirtualSystem(core.VirtualConfig{
+			Host: core.Config{Policy: "ca"},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		env := sys.NewEnv()
+		w := workloads.ByName(name)
+		if err := core.Setup(env, w, 1); err != nil {
+			log.Fatal(err)
+		}
+
+		// The measured phase: 1M accesses through the L2 TLB; misses
+		// trigger nested walks, SpOT predicts from tracked offsets.
+		rep, err := core.Simulate(env, w, 2, 1_000_000, sim.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %-8d %-14s %-14s %-8s %s\n",
+			name,
+			core.Contiguity(env).Maps99,
+			fmt.Sprintf("%.2f%%", rep.BaselineOverhead*100),
+			fmt.Sprintf("%.2f%%", rep.SpotOverhead*100),
+			fmt.Sprintf("%.1f%%", rep.Correct*100),
+			fmt.Sprintf("%.1f%%", rep.Mispredict*100))
+	}
+	fmt.Println()
+	fmt.Println("SpOT hides nearly the whole nested page-walk cost once CA paging")
+	fmt.Println("has built large contiguous mappings in both translation dimensions.")
+}

@@ -1,0 +1,253 @@
+// Package core is the library facade: it assembles the substrates —
+// zones/buddy/contiguity-map, the OS memory manager with a placement
+// policy, optionally a hypervisor with nested paging — into a ready
+// system and exposes the operations users need: run workloads, inspect
+// contiguity, and emulate the translation hardware (SpOT, vRMM, DS).
+//
+// The paper's two contributions sit underneath:
+//
+//   - CA paging: osim.CAPolicy plus the contigmap substrate
+//     (select Policy: "ca");
+//   - SpOT: hw/spot, driven through Simulate.
+//
+// Examples under examples/ and the cmd tools are written exclusively
+// against this package.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/hw/walker"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/zone"
+	"repro/internal/metrics"
+	"repro/internal/osim"
+	"repro/internal/osim/daemon"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+	"repro/internal/virt"
+	"repro/internal/workloads"
+)
+
+// Config describes one memory-management system (a kernel).
+type Config struct {
+	// ZonesMiB lists NUMA-zone sizes in MiB. Default: two 640 MiB
+	// zones. Each is rounded up to MAX_ORDER blocks.
+	ZonesMiB []int
+	// Policy selects physical placement: "default", "ca", "eager",
+	// "ideal", "ingens", "ranger". Default "default". "ingens" and
+	// "ranger" use default placement plus the corresponding daemon.
+	Policy string
+	// BootReserveBlocks pins this many MAX_ORDER blocks at each zone
+	// base (kernel image / firmware). Default 1.
+	BootReserveBlocks int
+}
+
+func (c Config) zonesPages() []uint64 {
+	zonesMiB := c.ZonesMiB
+	if len(zonesMiB) == 0 {
+		zonesMiB = []int{640, 640}
+	}
+	out := make([]uint64, len(zonesMiB))
+	for i, m := range zonesMiB {
+		pages := uint64(m) << 20 / addr.PageSize
+		out[i] = (pages + addr.MaxOrderPages - 1) &^ uint64(addr.MaxOrderPages-1)
+	}
+	return out
+}
+
+// buildKernel constructs the kernel + daemons for a config.
+func buildKernel(c Config) (*osim.Kernel, []workloads.Daemon, error) {
+	policy := c.Policy
+	if policy == "" {
+		policy = "default"
+	}
+	m := zone.NewMachine(zone.Config{
+		ZonePages:      c.zonesPages(),
+		SortedMaxOrder: policy == "ca",
+	})
+	var k *osim.Kernel
+	var ds []workloads.Daemon
+	switch policy {
+	case "default", "thp":
+		k = osim.NewKernel(m, osim.DefaultPolicy{})
+	case "ca":
+		k = osim.NewKernel(m, osim.CAPolicy{})
+	case "eager":
+		k = osim.NewKernel(m, osim.EagerPolicy{})
+	case "ideal":
+		k = osim.NewKernel(m, osim.NewIdealPolicy())
+	case "ingens":
+		k = osim.NewKernel(m, osim.DefaultPolicy{})
+		ds = append(ds, daemon.NewIngens(k))
+	case "ranger":
+		k = osim.NewKernel(m, osim.DefaultPolicy{})
+		ds = append(ds, daemon.NewRanger(k))
+	default:
+		return nil, nil, fmt.Errorf("core: unknown policy %q", policy)
+	}
+	reserve := c.BootReserveBlocks
+	if reserve == 0 {
+		reserve = 1
+	}
+	k.BootReserve(reserve)
+	return k, ds, nil
+}
+
+// NativeSystem is a bare-metal machine running one kernel.
+type NativeSystem struct {
+	Kernel  *osim.Kernel
+	Daemons []workloads.Daemon
+}
+
+// NewNativeSystem boots a native system.
+func NewNativeSystem(c Config) (*NativeSystem, error) {
+	k, ds, err := buildKernel(c)
+	if err != nil {
+		return nil, err
+	}
+	return &NativeSystem{Kernel: k, Daemons: ds}, nil
+}
+
+// NewEnv starts a process and returns its workload environment.
+func (s *NativeSystem) NewEnv() *workloads.Env {
+	env := workloads.NewNativeEnv(s.Kernel, 0)
+	env.Daemons = s.Daemons
+	return env
+}
+
+// VirtualSystem is a host kernel running one VM with a guest kernel —
+// the nested-paging setup the paper evaluates.
+type VirtualSystem struct {
+	VM   *virt.VM
+	Host *osim.Kernel
+}
+
+// VirtualConfig describes the two-dimensional setup.
+type VirtualConfig struct {
+	// Host configures the hypervisor-side kernel.
+	Host Config
+	// GuestPolicy and GuestZonesMiB configure the guest kernel
+	// (defaults: the host's policy; two 384 MiB zones).
+	GuestPolicy   string
+	GuestZonesMiB []int
+	// VMMemMiB is the guest physical memory (default: sum of guest
+	// zones).
+	VMMemMiB int
+}
+
+// NewVirtualSystem boots a host and a VM.
+func NewVirtualSystem(c VirtualConfig) (*VirtualSystem, error) {
+	host, _, err := buildKernel(c.Host)
+	if err != nil {
+		return nil, err
+	}
+	guestPolicy := c.GuestPolicy
+	if guestPolicy == "" {
+		guestPolicy = c.Host.Policy
+	}
+	zonesMiB := c.GuestZonesMiB
+	if len(zonesMiB) == 0 {
+		zonesMiB = []int{384, 384}
+	}
+	guestZones := Config{ZonesMiB: zonesMiB}.zonesPages()
+	var memPages uint64
+	for _, z := range guestZones {
+		memPages += z
+	}
+	var guestPlacement osim.Placement
+	switch guestPolicy {
+	case "", "default", "thp":
+		guestPlacement = osim.DefaultPolicy{}
+	case "ca":
+		guestPlacement = osim.CAPolicy{}
+	case "eager":
+		guestPlacement = osim.EagerPolicy{}
+	case "ideal":
+		guestPlacement = osim.NewIdealPolicy()
+	default:
+		return nil, fmt.Errorf("core: unknown guest policy %q", guestPolicy)
+	}
+	vm, err := virt.New(host, virt.Config{
+		MemBytes:         memPages * addr.PageSize,
+		GuestZones:       guestZones,
+		GuestPolicy:      guestPlacement,
+		GuestSorted:      guestPolicy == "ca",
+		GuestBootReserve: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &VirtualSystem{VM: vm, Host: host}, nil
+}
+
+// NewEnv starts a guest process and returns its environment.
+func (s *VirtualSystem) NewEnv() *workloads.Env {
+	return workloads.NewVirtEnv(s.VM, 0)
+}
+
+// ContigReport summarises a process's contiguous mappings.
+type ContigReport struct {
+	Mappings      []metrics.Mapping
+	Cov32, Cov128 float64
+	Maps99        int
+	TotalPages    uint64
+}
+
+func report(ms []metrics.Mapping) ContigReport {
+	return ContigReport{
+		Mappings:   ms,
+		Cov32:      metrics.CoverageTopN(ms, 32),
+		Cov128:     metrics.CoverageTopN(ms, 128),
+		Maps99:     metrics.MappingsFor(ms, 0.99),
+		TotalPages: metrics.TotalPages(ms),
+	}
+}
+
+// Contiguity inspects an environment's mappings: native page-table
+// extents for native systems, composed 2D (gVA→hPA) extents inside a
+// VM — the paper's pagemap/VMI measurement.
+func Contiguity(env *workloads.Env) ContigReport {
+	if env.VM != nil {
+		return report(env.VM.Mappings2D(env.Proc))
+	}
+	return report(metrics.FromPageTable(env.Proc.PT))
+}
+
+// TranslationReport is the outcome of a hardware-emulation run.
+type TranslationReport struct {
+	Result sim.Result
+	// BaselineOverhead is the paging overhead (nested or native walk
+	// cycles over ideal cycles) — what Fig. 13's 4K/THP bars show.
+	BaselineOverhead float64
+	// SpotOverhead, RMMOverhead, DSOverhead are the residual overheads
+	// of the three translation schemes.
+	SpotOverhead, RMMOverhead, DSOverhead float64
+	// Correct/Mispredict/NoPrediction are SpOT's outcome fractions.
+	Correct, Mispredict, NoPrediction float64
+}
+
+// Simulate drives n accesses of the workload's measured phase through
+// the TLB and all translation schemes (the workload must already be
+// Setup in env).
+func Simulate(env *workloads.Env, w workloads.Workload, seed int64, n uint64, cfg sim.Config) (TranslationReport, error) {
+	cfg.EnableSchemes = true
+	res, err := sim.Run(env, w.Stream(newRand(seed), n), cfg)
+	if err != nil {
+		return TranslationReport{}, err
+	}
+	total := float64(res.Misses)
+	if total == 0 {
+		total = 1
+	}
+	return TranslationReport{
+		Result:           res,
+		BaselineOverhead: perfmodel.PagingOverhead(res),
+		SpotOverhead:     perfmodel.SpotOverhead(res),
+		RMMOverhead:      perfmodel.RMMOverhead(res),
+		DSOverhead:       perfmodel.DSOverhead(res, walker.DefaultCosts().Nested4K4K),
+		Correct:          float64(res.SpotCorrect) / total,
+		Mispredict:       float64(res.SpotMispredict) / total,
+		NoPrediction:     float64(res.SpotNoPred) / total,
+	}, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func TestNativeSystemQuickPath(t *testing.T) {
+	sys, err := NewNativeSystem(Config{Policy: "ca"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sys.NewEnv()
+	w := workloads.NewPageRank()
+	if err := Setup(env, w, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep := Contiguity(env)
+	if rep.Maps99 > 5 {
+		t.Fatalf("CA native maps99 = %d, want few", rep.Maps99)
+	}
+	if rep.Cov32 < 0.99 {
+		t.Fatalf("cov32 = %f", rep.Cov32)
+	}
+	if rep.TotalPages == 0 || len(rep.Mappings) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func TestNativeDefaultVsCA(t *testing.T) {
+	maps := map[string]int{}
+	for _, p := range []string{"default", "ca"} {
+		sys, err := NewNativeSystem(Config{Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := sys.NewEnv()
+		if err := Setup(env, workloads.NewPageRank(), 1); err != nil {
+			t.Fatal(err)
+		}
+		maps[p] = Contiguity(env).Maps99
+	}
+	if maps["default"] < maps["ca"]*10 {
+		t.Fatalf("default %d should need >>10x CA %d", maps["default"], maps["ca"])
+	}
+}
+
+func TestVirtualSystemSimulate(t *testing.T) {
+	sys, err := NewVirtualSystem(VirtualConfig{Host: Config{Policy: "ca"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sys.NewEnv()
+	w := workloads.NewPageRank()
+	if err := Setup(env, w, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Simulate(env, w, 2, 200_000, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaselineOverhead <= 0 {
+		t.Fatal("no baseline overhead measured")
+	}
+	if rep.SpotOverhead >= rep.BaselineOverhead/3 {
+		t.Fatalf("SpOT %f should slash baseline %f", rep.SpotOverhead, rep.BaselineOverhead)
+	}
+	if rep.Correct < 0.9 {
+		t.Fatalf("correct = %f", rep.Correct)
+	}
+	// 2D contiguity report works too.
+	if Contiguity(env).Maps99 > 5 {
+		t.Fatal("2D contiguity unexpectedly fragmented")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewNativeSystem(Config{Policy: "bogus"}); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if _, err := NewVirtualSystem(VirtualConfig{Host: Config{Policy: "ca"}, GuestPolicy: "bogus"}); err == nil {
+		t.Fatal("bogus guest policy accepted")
+	}
+	// Daemon policies construct.
+	for _, p := range []string{"ingens", "ranger"} {
+		sys, err := NewNativeSystem(Config{Policy: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sys.Daemons) != 1 {
+			t.Fatalf("%s daemons = %d", p, len(sys.Daemons))
+		}
+	}
+}
+
+func TestCustomZones(t *testing.T) {
+	sys, err := NewNativeSystem(Config{ZonesMiB: []int{64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Kernel.Machine.Zones) != 1 {
+		t.Fatal("zone count")
+	}
+	if sys.Kernel.Machine.TotalPages() != 64<<20/4096 {
+		t.Fatalf("total pages = %d", sys.Kernel.Machine.TotalPages())
+	}
+}

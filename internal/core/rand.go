@@ -1,0 +1,17 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/workloads"
+)
+
+// newRand builds a deterministic source; kept in one place so the
+// facade's seeding convention is uniform.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Setup runs a workload's allocation/population phase in env with a
+// deterministic seed.
+func Setup(env *workloads.Env, w workloads.Workload, seed int64) error {
+	return w.Setup(env, newRand(seed))
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import "testing"
+
+func TestAblationPlacementShape(t *testing.T) {
+	tab, err := AblationPlacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextA := parseI(t, cell(t, tab, 1, "next-fit"))
+	firstA := parseI(t, cell(t, tab, 1, "first-fit"))
+	// Next-fit defers racing placements; first-fit collides them. The
+	// paper picked next-fit exactly for this.
+	if nextA > firstA {
+		t.Fatalf("next-fit maps99 %d should not exceed first-fit %d", nextA, firstA)
+	}
+}
+
+func TestAblationOffsetBudgetShape(t *testing.T) {
+	tab, err := AblationOffsetBudget()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := parseI(t, cell(t, tab, 2, "1"))   // fallbacks with 1 offset
+	full := parseI(t, cell(t, tab, 2, "64")) // fallbacks with 64
+	if full > one {
+		t.Fatalf("64-offset fallbacks %d should be <= single-offset %d", full, one)
+	}
+}
+
+func TestAblationSpotConfidenceShape(t *testing.T) {
+	old := StreamLen
+	StreamLen = 200_000
+	defer func() { StreamLen = old }()
+	tab, err := AblationSpotConfidence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullMis := parsePct(t, cell(t, tab, 2, "full mechanism"))
+	noConfMis := parsePct(t, cell(t, tab, 2, "no confidence"))
+	// Without confidence throttling, would-be no-predictions become
+	// mispredictions (each costing a pipeline flush).
+	if noConfMis < fullMis {
+		t.Fatalf("no-confidence mispredicts %.2f%% should exceed full %.2f%%", noConfMis, fullMis)
+	}
+}
+
+func TestAblationSpotGeometryShape(t *testing.T) {
+	old := StreamLen
+	StreamLen = 150_000
+	defer func() { StreamLen = old }()
+	tab, err := AblationSpotGeometry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Bigger tables never hurt: correct rate at 128x8 >= at 8x2.
+	small := parsePct(t, cell(t, tab, 1, "8x2"))
+	big := parsePct(t, cell(t, tab, 1, "128x8"))
+	if big+1 < small {
+		t.Fatalf("128x8 correct %.2f%% should be >= 8x2 %.2f%%", big, small)
+	}
+}
+
+func TestAblationSortedShape(t *testing.T) {
+	tab, err := AblationSortedMaxOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted := parseF(t, cell(t, tab, 1, "true"))
+	unsorted := parseF(t, cell(t, tab, 1, "false"))
+	if sorted < unsorted {
+		t.Fatalf("sorted largest cluster %.1f MiB should be >= unsorted %.1f MiB", sorted, unsorted)
+	}
+}

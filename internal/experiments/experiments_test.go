@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parsePct converts "12.34%" to 12.34.
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percent %q: %v", s, err)
+	}
+	return v
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q: %v", s, err)
+	}
+	return v
+}
+
+func parseI(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("bad int %q: %v", s, err)
+	}
+	return v
+}
+
+// cell finds the row whose first columns match keys and returns col.
+func cell(t *testing.T, tab *Table, col int, keys ...string) string {
+	t.Helper()
+	for _, row := range tab.Rows {
+		match := true
+		for i, k := range keys {
+			if row[i] != k {
+				match = false
+				break
+			}
+		}
+		if match {
+			return row[col]
+		}
+	}
+	t.Fatalf("row %v not found in %s", keys, tab.Title)
+	return ""
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"x", "y"}, {"longer", "z"}},
+		Notes:  []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "longer", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(IDs()) != 22 {
+		t.Fatalf("registered experiments = %d, want 22", len(IDs()))
+	}
+	if _, err := Lookup("fig7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown id should error")
+	}
+}
+
+func TestFig7ShapeSubset(t *testing.T) {
+	tab, err := Fig7For([]string{"pagerank"}, []PolicyName{PolicyTHP, PolicyCA, PolicyEager, PolicyIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thpMaps := parseI(t, cell(t, tab, 4, "pagerank", "thp"))
+	caMaps := parseI(t, cell(t, tab, 4, "pagerank", "ca"))
+	idealMaps := parseI(t, cell(t, tab, 4, "pagerank", "ideal"))
+	// Paper shape: THP needs orders of magnitude more mappings than CA;
+	// CA is close to ideal.
+	if thpMaps < caMaps*10 {
+		t.Fatalf("THP maps99 %d should be >>10x CA %d", thpMaps, caMaps)
+	}
+	if caMaps > idealMaps*4+4 {
+		t.Fatalf("CA maps99 %d too far from ideal %d", caMaps, idealMaps)
+	}
+	caCov := parseF(t, cell(t, tab, 2, "pagerank", "ca"))
+	if caCov < 0.95 {
+		t.Fatalf("CA cov32 = %f, want ~1", caCov)
+	}
+}
+
+func TestFig8ShapeSubset(t *testing.T) {
+	tab, err := Fig8Sweep([]float64{0.5}, []string{"pagerank"},
+		[]PolicyName{PolicyCA, PolicyEager, PolicyIdeal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := parseF(t, cell(t, tab, 3, "hog-50%", "ca"))       // cov128
+	eager := parseF(t, cell(t, tab, 3, "hog-50%", "eager")) // cov128
+	ideal := parseF(t, cell(t, tab, 3, "hog-50%", "ideal"))
+	// Paper shape: under heavy pressure CA stays near ideal and beats
+	// eager decisively at 128-mapping coverage.
+	if ca < eager {
+		t.Fatalf("hog-50: CA cov128 %f should beat eager %f", ca, eager)
+	}
+	if ca < ideal-0.15 {
+		t.Fatalf("hog-50: CA cov128 %f should track ideal %f", ca, ideal)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	tab, err := Table5For([]string{"pagerank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thpFaults := parseI(t, cell(t, tab, 1, "thp"))
+	caFaults := parseI(t, cell(t, tab, 1, "ca"))
+	eagerFaults := parseI(t, cell(t, tab, 1, "eager"))
+	thpP99 := parseF(t, cell(t, tab, 2, "thp"))
+	caP99 := parseF(t, cell(t, tab, 2, "ca"))
+	eagerP99 := parseF(t, cell(t, tab, 2, "eager"))
+	// Paper shape: CA ~ THP in both; eager has far fewer faults and a
+	// tail latency orders of magnitude higher.
+	if caFaults < thpFaults*9/10 || caFaults > thpFaults*11/10 {
+		t.Fatalf("CA faults %d should be ~ THP %d", caFaults, thpFaults)
+	}
+	if eagerFaults*10 > thpFaults {
+		t.Fatalf("eager faults %d should be <<10%% of THP %d", eagerFaults, thpFaults)
+	}
+	if caP99 > thpP99*2 {
+		t.Fatalf("CA p99 %f should be ~ THP %f", caP99, thpP99)
+	}
+	if eagerP99 < thpP99*20 {
+		t.Fatalf("eager p99 %f should dwarf THP %f", eagerP99, thpP99)
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	tab, err := Table6For([]string{"hashjoin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hashjoin: the paper's worst eager bloat (47.5%). Column 1 holds
+	// "MiB (pct%)" strings.
+	get := func(policy string) float64 {
+		s := cell(t, tab, 1, policy)
+		open := strings.Index(s, "(")
+		return parsePct(t, strings.TrimSuffix(s[open+1:], ")"))
+	}
+	if eager := get("eager"); eager < 30 {
+		t.Fatalf("eager hashjoin bloat = %.1f%%, want ~48%%", eager)
+	}
+	if thp := get("thp"); thp > 5 {
+		t.Fatalf("thp hashjoin bloat = %.1f%%, want small", thp)
+	}
+	if ca, thp := get("ca"), get("thp"); ca > thp*3+1 {
+		t.Fatalf("ca bloat %.1f%% should be ~ thp %.1f%%", ca, thp)
+	}
+}
+
+func TestTable1ShapeSubset(t *testing.T) {
+	tab, err := Table1For([]string{"pagerank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thpRanges := parseI(t, cell(t, tab, 1, "pagerank"))
+	caRanges := parseI(t, cell(t, tab, 3, "pagerank"))
+	caAnchors := parseI(t, cell(t, tab, 4, "pagerank"))
+	if thpRanges < caRanges*10 {
+		t.Fatalf("THP ranges %d should be >>10x CA %d", thpRanges, caRanges)
+	}
+	// vHC's alignment restrictions demand many more entries than ranges.
+	if caAnchors < caRanges*4 {
+		t.Fatalf("vHC anchors %d should exceed CA ranges %d by a wide factor", caAnchors, caRanges)
+	}
+}
+
+func TestFig13And14ShapeSubset(t *testing.T) {
+	old := StreamLen
+	StreamLen = 300_000
+	defer func() { StreamLen = old }()
+	tab, err := Fig13For([]string{"pagerank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o4k := parsePct(t, cell(t, tab, 1, "pagerank"))
+	othp := parsePct(t, cell(t, tab, 2, "pagerank"))
+	ov4k := parsePct(t, cell(t, tab, 3, "pagerank"))
+	ovthp := parsePct(t, cell(t, tab, 4, "pagerank"))
+	ospot := parsePct(t, cell(t, tab, 5, "pagerank"))
+	ormm := parsePct(t, cell(t, tab, 6, "pagerank"))
+	ods := parsePct(t, cell(t, tab, 7, "pagerank"))
+	// Paper shape, per configuration:
+	if !(o4k > othp && ov4k > ovthp) {
+		t.Fatalf("4K must exceed THP: %f/%f, %f/%f", o4k, othp, ov4k, ovthp)
+	}
+	if !(ovthp > othp) {
+		t.Fatalf("virtualization must amplify THP overhead: %f vs %f", ovthp, othp)
+	}
+	if !(ospot < ovthp/5) {
+		t.Fatalf("SpOT %f should slash vTHP %f", ospot, ovthp)
+	}
+	if !(ormm <= ospot+0.5) {
+		t.Fatalf("vRMM %f should be at or below SpOT %f", ormm, ospot)
+	}
+	if ods > 0.5 {
+		t.Fatalf("DS overhead %f should be ~0", ods)
+	}
+
+	tab14, err := Fig14For([]string{"pagerank"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := parsePct(t, cell(t, tab14, 1, "pagerank"))
+	mispred := parsePct(t, cell(t, tab14, 2, "pagerank"))
+	if correct < 95 {
+		t.Fatalf("pagerank correct = %f%%, want >95%%", correct)
+	}
+	if mispred > 4 {
+		t.Fatalf("pagerank mispredict = %f%%, want <4%%", mispred)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	old := StreamLen
+	StreamLen = 200_000
+	defer func() { StreamLen = old }()
+	tab, err := Table7For([]string{"pagerank", "hashjoin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0]
+	spectre := parsePct(t, row[2])
+	spot := parsePct(t, row[3])
+	if spot >= spectre {
+		t.Fatalf("SpOT USL %f%% must be far below Spectre %f%%", spot, spectre)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	tab, err := Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CA leaves more free memory in the largest class than default.
+	caBig := parseF(t, cell(t, tab, 4, "ca"))
+	thpBig := parseF(t, cell(t, tab, 4, "thp"))
+	if caBig < thpBig {
+		t.Fatalf("CA largest-class fraction %f should be >= default %f", caBig, thpBig)
+	}
+}
+
+func TestFig1bShape(t *testing.T) {
+	tab, err := Fig1b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eager's coverage at run 10 is below its run-1 coverage and below
+	// CA's run-10 coverage; CA sustains.
+	eager1 := parseF(t, cell(t, tab, 1, "1"))
+	eager10 := parseF(t, cell(t, tab, 1, "10"))
+	ca10 := parseF(t, cell(t, tab, 2, "10"))
+	if eager10 >= eager1 {
+		t.Fatalf("eager should degrade: run1 %f run10 %f", eager1, eager10)
+	}
+	if ca10 < eager10 {
+		t.Fatalf("CA run10 %f should beat eager %f", ca10, eager10)
+	}
+	if ca10 < 0.9 {
+		t.Fatalf("CA run10 coverage %f should stay high", ca10)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab, err := Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	caA := parseF(t, cell(t, tab, 1, "ca"))
+	caB := parseF(t, cell(t, tab, 2, "ca"))
+	if caA < 0.9 || caB < 0.9 {
+		t.Fatalf("CA multi-program coverage = %f/%f, want ~1", caA, caB)
+	}
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Driver runs one experiment and returns its table.
+type Driver func() (*Table, error)
+
+// registry maps experiment IDs to drivers, in the paper's numbering.
+var registry = map[string]Driver{
+	"fig1b":               Fig1b,
+	"fig1c":               Fig1c,
+	"table1":              Table1,
+	"fig7":                Fig7,
+	"fig8":                Fig8,
+	"fig9":                Fig9,
+	"fig10":               Fig10,
+	"fig11":               Fig11,
+	"table5":              Table5,
+	"table6":              Table6,
+	"fig12":               Fig12,
+	"fig13":               Fig13,
+	"fig14":               Fig14,
+	"ablation-placement":  AblationPlacement,
+	"ablation-sorted":     AblationSortedMaxOrder,
+	"ablation-offsets":    AblationOffsetBudget,
+	"ablation-confidence": AblationSpotConfidence,
+	"ablation-geometry":   AblationSpotGeometry,
+	"table7":              Table7,
+	"extra-shadow":        ExtraShadow,
+	"extra-reservation":   ExtraReservation,
+	"extra-5level":        ExtraFiveLevel,
+}
+
+// IDs returns the registered experiment IDs in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the driver for an experiment ID.
+func Lookup(id string) (Driver, error) {
+	d, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return d, nil
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hw/walker"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// StreamLen is the measured-phase length used by the translation
+// experiments. Override (e.g. in benchmarks) for faster runs.
+var StreamLen = uint64(1_000_000)
+
+// translationRun holds every measurement Fig. 13/14 and Table VII need
+// for one workload.
+type translationRun struct {
+	name                string
+	native4K, nativeTHP sim.Result
+	virt4K, virtTHP     sim.Result // default paging, no schemes
+	caTHP               sim.Result // CA/CA with schemes enabled
+}
+
+// runTranslation measures one workload under all Fig. 13 configurations.
+func runTranslation(name string) (translationRun, error) {
+	out := translationRun{name: name}
+	run := func(virtual bool, thp bool, policy PolicyName, schemes bool) (sim.Result, error) {
+		var env *workloads.Env
+		if virtual {
+			vm, _, err := newVM(policy, policy)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			vm.Guest.THPEnabled = thp
+			vm.Host.THPEnabled = thp
+			env = workloads.NewVirtEnv(vm, 0)
+		} else {
+			k, _ := newNativeKernel(policy, false)
+			k.THPEnabled = thp
+			env = workloads.NewNativeEnv(k, 0)
+		}
+		w := workloads.ByName(name)
+		if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+			return sim.Result{}, fmt.Errorf("%s setup: %w", name, err)
+		}
+		return sim.Run(env, w.Stream(rand.New(rand.NewSource(2)), StreamLen), sim.Config{EnableSchemes: schemes})
+	}
+	var err error
+	if out.native4K, err = run(false, false, PolicyTHP, false); err != nil {
+		return out, err
+	}
+	if out.nativeTHP, err = run(false, true, PolicyTHP, false); err != nil {
+		return out, err
+	}
+	if out.virt4K, err = run(true, false, PolicyTHP, false); err != nil {
+		return out, err
+	}
+	if out.virtTHP, err = run(true, true, PolicyTHP, false); err != nil {
+		return out, err
+	}
+	if out.caTHP, err = run(true, true, PolicyCA, true); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Fig13 reproduces the translation-overhead comparison (Fig. 13):
+// execution-time overhead of data-TLB misses for native and virtualized
+// base/huge pages, and for SpOT, vRMM, and Direct Segments on top of
+// CA paging in both dimensions.
+func Fig13() (*Table, error) { return Fig13For(workloadNames()) }
+
+// Fig13For is the parameterized core of Fig13.
+func Fig13For(names []string) (*Table, error) {
+	t := &Table{
+		Title:  "Fig 13: execution time overhead of TLB misses (virtualized focus)",
+		Header: []string{"workload", "4K", "THP", "4K+4K", "THP+THP", "SpOT", "vRMM", "DS"},
+		Notes: []string{
+			"paper shape: vTHP ~16.5% avg; SpOT ~0.9%; vRMM <0.1%; DS ~0",
+		},
+	}
+	var thpN, vthpN, spotN, rmmN, dsN []float64
+	for _, name := range names {
+		r, err := runTranslation(name)
+		if err != nil {
+			return nil, err
+		}
+		c := walker.DefaultCosts()
+		o4k := perfmodel.PagingOverhead(r.native4K)
+		othp := perfmodel.PagingOverhead(r.nativeTHP)
+		ov4k := perfmodel.PagingOverhead(r.virt4K)
+		ovthp := perfmodel.PagingOverhead(r.virtTHP)
+		ospot := perfmodel.SpotOverhead(r.caTHP)
+		ormm := perfmodel.RMMOverhead(r.caTHP)
+		ods := perfmodel.DSOverhead(r.caTHP, c.Nested4K4K)
+		t.Rows = append(t.Rows, []string{
+			name, pct(o4k), pct(othp), pct(ov4k), pct(ovthp), pct(ospot), pct(ormm), pct(ods),
+		})
+		thpN = append(thpN, othp*100)
+		vthpN = append(vthpN, ovthp*100)
+		spotN = append(spotN, ospot*100)
+		rmmN = append(rmmN, ormm*100)
+		dsN = append(dsN, ods*100)
+	}
+	t.Rows = append(t.Rows, []string{
+		"mean", "-", fmt.Sprintf("%.2f%%", meanF(thpN)), "-",
+		fmt.Sprintf("%.2f%%", meanF(vthpN)), fmt.Sprintf("%.2f%%", meanF(spotN)),
+		fmt.Sprintf("%.2f%%", meanF(rmmN)), fmt.Sprintf("%.2f%%", meanF(dsN)),
+	})
+	return t, nil
+}
+
+func meanF(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Fig14 reproduces the SpOT outcome breakdown (Fig. 14): the fraction
+// of last-level TLB misses predicted correctly, mispredicted, and not
+// predicted, in virtualized execution with CA paging.
+func Fig14() (*Table, error) { return Fig14For(workloadNames()) }
+
+// Fig14For is the parameterized core of Fig14.
+func Fig14For(names []string) (*Table, error) {
+	t := &Table{
+		Title:  "Fig 14: SpOT prediction outcome breakdown (virtualized, CA paging)",
+		Header: []string{"workload", "correct", "mispredict", "no-prediction"},
+		Notes: []string{
+			"paper shape: correct >99% for pagerank; mispredictions never above ~5%;",
+			"svm carries the largest irregular no-prediction tail",
+		},
+	}
+	for _, name := range names {
+		vm, _, err := newVM(PolicyCA, PolicyCA)
+		if err != nil {
+			return nil, err
+		}
+		env := workloads.NewVirtEnv(vm, 0)
+		wl := workloads.ByName(name)
+		if err := wl.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+			return nil, fmt.Errorf("fig14 %s: %w", name, err)
+		}
+		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(2)), StreamLen), sim.Config{EnableSchemes: true})
+		if err != nil {
+			return nil, err
+		}
+		total := float64(res.Misses)
+		if total == 0 {
+			total = 1
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			pct(float64(res.SpotCorrect) / total),
+			pct(float64(res.SpotMispredict) / total),
+			pct(float64(res.SpotNoPred) / total),
+		})
+	}
+	return t, nil
+}
+
+// Table7 reproduces the unsafe-load estimation (Table VII): geometric
+// means of branch and DTLB-miss densities and the resulting Spectre vs
+// SpOT USL percentages.
+func Table7() (*Table, error) { return Table7For(workloadNames()) }
+
+// Table7For is the parameterized core of Table7.
+func Table7For(names []string) (*Table, error) {
+	t := &Table{
+		Title:  "Table VII: estimation of unsafe load instructions (USL)",
+		Header: []string{"branches/instr", "dtlb misses/instr", "spectre USL/instr", "spot USL/instr"},
+		Notes: []string{
+			"paper: 5.87% / 0.25% / 16.5% / 2.9% — SpOT's transient windows are longer",
+			"but far rarer than branch speculation, so SpOT USLs stay several x fewer",
+		},
+	}
+	var missPct, spotPct []float64
+	var est perfmodel.USLEstimate
+	for _, name := range names {
+		vm, _, err := newVM(PolicyCA, PolicyCA)
+		if err != nil {
+			return nil, err
+		}
+		env := workloads.NewVirtEnv(vm, 0)
+		wl := workloads.ByName(name)
+		if err := wl.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+			return nil, fmt.Errorf("table7 %s: %w", name, err)
+		}
+		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(2)), StreamLen), sim.Config{})
+		if err != nil {
+			return nil, err
+		}
+		est = perfmodel.EstimateUSL(res)
+		missPct = append(missPct, est.DTLBMissesPerInstrPct)
+		spotPct = append(spotPct, est.SpOTUSLPct)
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("%.2f%%", est.BranchesPerInstrPct),
+		fmt.Sprintf("%.2f%%", metrics.GeoMeanFrac(missPct)),
+		fmt.Sprintf("%.1f%%", est.SpectreUSLPct),
+		fmt.Sprintf("%.1f%%", metrics.GeoMeanFrac(spotPct)),
+	})
+	return t, nil
+}

@@ -1,0 +1,45 @@
+// Package ds emulates Direct Segments in dual direct mode (Gandhi et
+// al., MICRO'14), the rigid upper-bound baseline of the paper's Fig. 13:
+// a single hardware segment [Base, Limit, Offset) translates gVA→hPA
+// directly, eliminating the nested walk for every access inside it.
+// Accesses outside the segment pay the normal nested 4K walk, and the
+// segment's memory is reserved at VM boot — paging is abolished inside
+// it, which is exactly the inflexibility CA paging + SpOT avoid.
+package ds
+
+import "repro/internal/mem/addr"
+
+// Segment is the single dual-direct segment.
+type Segment struct {
+	Base   addr.VirtAddr
+	Limit  addr.VirtAddr // exclusive
+	Offset addr.Offset
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewSegment creates a segment mapping [base, base+bytes) with the
+// given translation offset.
+func NewSegment(base addr.VirtAddr, bytes uint64, off addr.Offset) *Segment {
+	return &Segment{Base: base, Limit: base.Add(bytes), Offset: off}
+}
+
+// Lookup translates va through the segment. ok is false outside it.
+func (s *Segment) Lookup(va addr.VirtAddr) (addr.PhysAddr, bool) {
+	if va >= s.Base && va < s.Limit {
+		s.Hits++
+		return s.Offset.Target(va), true
+	}
+	s.Misses++
+	return 0, false
+}
+
+// Coverage returns the fraction of lookups served by the segment.
+func (s *Segment) Coverage() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,121 @@
+package rmm
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+	"repro/internal/metrics"
+)
+
+func mk(vaPage, paPage, pages uint64) metrics.Mapping {
+	return metrics.Mapping{
+		VA:    addr.VirtAddr(vaPage) << addr.PageShift,
+		PA:    addr.PhysAddr(paPage) << addr.PageShift,
+		Pages: pages,
+	}
+}
+
+func TestTableFind(t *testing.T) {
+	tab := NewTable([]metrics.Mapping{
+		mk(1000, 50, 100),
+		mk(100, 900, 10),
+		mk(5000, 2000, 1),
+	})
+	if tab.Len() != 3 {
+		t.Fatal("Len")
+	}
+	// Inside the middle mapping.
+	r, ok := tab.Find(addr.VirtAddr(1050) << addr.PageShift)
+	if !ok {
+		t.Fatal("Find missed covering range")
+	}
+	want := addr.PhysAddr(100) << addr.PageShift
+	if got := r.Offset.Target(addr.VirtAddr(1050) << addr.PageShift); got != want {
+		t.Fatalf("translation = %v, want %v", got, want)
+	}
+	// Boundary conditions: Base inclusive, Limit exclusive.
+	if _, ok := tab.Find(addr.VirtAddr(1000) << addr.PageShift); !ok {
+		t.Fatal("Base should be covered")
+	}
+	if _, ok := tab.Find(addr.VirtAddr(1100) << addr.PageShift); ok {
+		t.Fatal("Limit should be exclusive")
+	}
+	// Gap.
+	if _, ok := tab.Find(addr.VirtAddr(500) << addr.PageShift); ok {
+		t.Fatal("gap should not be covered")
+	}
+}
+
+func TestRangeTLBHitMissAccounting(t *testing.T) {
+	tab := NewTable([]metrics.Mapping{mk(0, 1000, 10000)})
+	rt := NewRangeTLB(32)
+	va := addr.VirtAddr(5000) << addr.PageShift
+	if _, ok := rt.Lookup(va, tab); !ok {
+		t.Fatal("covered lookup failed")
+	}
+	if rt.Hits != 0 || rt.Misses != 1 {
+		t.Fatalf("first lookup: hits=%d misses=%d", rt.Hits, rt.Misses)
+	}
+	// Second lookup anywhere in the range hits the cached entry.
+	if _, ok := rt.Lookup(va.Add(1<<20), tab); !ok {
+		t.Fatal("cached lookup failed")
+	}
+	if rt.Hits != 1 {
+		t.Fatalf("hits = %d", rt.Hits)
+	}
+	// Uncovered address.
+	if _, ok := rt.Lookup(addr.VirtAddr(1)<<40, tab); ok {
+		t.Fatal("uncovered lookup succeeded")
+	}
+	if rt.Uncov != 1 {
+		t.Fatalf("uncov = %d", rt.Uncov)
+	}
+}
+
+func TestRangeTLBLRUEviction(t *testing.T) {
+	// Capacity 2: a third distinct range evicts the least recently used.
+	tab := NewTable([]metrics.Mapping{
+		mk(0, 0, 10),
+		mk(1000, 100, 10),
+		mk(2000, 200, 10),
+	})
+	rt := NewRangeTLB(2)
+	v0 := addr.VirtAddr(0)
+	v1 := addr.VirtAddr(1000) << addr.PageShift
+	v2 := addr.VirtAddr(2000) << addr.PageShift
+	rt.Lookup(v0, tab) // fill 0
+	rt.Lookup(v1, tab) // fill 1
+	rt.Lookup(v0, tab) // touch 0
+	rt.Lookup(v2, tab) // evicts 1
+	missesBefore := rt.Misses
+	rt.Lookup(v0, tab) // still cached
+	if rt.Misses != missesBefore {
+		t.Fatal("recently used range evicted")
+	}
+	rt.Lookup(v1, tab) // refill
+	if rt.Misses != missesBefore+1 {
+		t.Fatal("evicted range should refill via table walk")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tab := NewTable([]metrics.Mapping{mk(0, 0, 10)})
+	rt := NewRangeTLB(4)
+	rt.Lookup(0, tab)
+	rt.Flush()
+	rt.Lookup(0, tab)
+	if rt.Misses != 2 {
+		t.Fatalf("misses = %d, want refill after flush", rt.Misses)
+	}
+}
+
+func TestTranslationConsistencyAcrossRange(t *testing.T) {
+	tab := NewTable([]metrics.Mapping{mk(1<<20, 1<<10, 1<<20)})
+	rt := NewRangeTLB(32)
+	base := addr.VirtAddr(1<<20) << addr.PageShift
+	pa0, _ := rt.Lookup(base, tab)
+	paN, _ := rt.Lookup(base.Add(12345*addr.PageSize), tab)
+	if paN != pa0+addr.PhysAddr(12345*addr.PageSize) {
+		t.Fatal("range translation not linear")
+	}
+}

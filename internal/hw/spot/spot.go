@@ -1,0 +1,214 @@
+// Package spot implements SpOT, the paper's hardware contribution
+// (§IV): Speculative Offset-based Address Translation. A small
+// PC-indexed, set-associative prediction table caches the [offset,
+// permissions] of recently missed translations; on a last-level TLB
+// miss the table predicts hPA = gVA - offset so the processor can
+// continue speculatively while the nested walk verifies in the
+// background.
+//
+// Faithfully modelled details:
+//   - PC indexing and tag matching (few instructions cause most misses);
+//   - 2-bit saturating confidence per entry: predictions are issued
+//     only at confidence > 1, correct verifications increment,
+//     mispredictions decrement, and the stored offset is replaced only
+//     at confidence 0;
+//   - fills gated by the OS contiguity bit in *both* dimensions
+//     (thrashing prevention): the nested walker only updates the table
+//     when the guest and host PTEs carry the bit;
+//   - LRU victim selection among replaceable (confidence-0) ways.
+package spot
+
+import "repro/internal/mem/addr"
+
+// Outcome classifies SpOT's behaviour on one TLB miss, the breakdown
+// Fig. 14 reports.
+type Outcome int
+
+const (
+	// NoPrediction: no confident entry; the full walk latency is paid.
+	NoPrediction Outcome = iota
+	// Correct: prediction matched the walk; latency hidden.
+	Correct
+	// Mispredict: prediction differed; walk latency plus flush penalty.
+	Mispredict
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Correct:
+		return "correct"
+	case Mispredict:
+		return "mispredict"
+	default:
+		return "no-prediction"
+	}
+}
+
+type entry struct {
+	valid  bool
+	tag    uint64
+	offset addr.Offset
+	conf   uint8 // 2-bit saturating counter
+	lru    uint64
+}
+
+// Table is the SpOT prediction table.
+type Table struct {
+	sets  [][]entry
+	nsets uint64
+	ways  int
+	tick  uint64
+
+	// DisableConfidence issues predictions whenever an entry exists,
+	// ignoring the 2-bit counter (ablation: shows why confidence
+	// throttling matters).
+	DisableConfidence bool
+	// IgnoreFilter accepts fills regardless of the OS contiguity bits
+	// (ablation: shows the thrashing the filter prevents).
+	IgnoreFilter bool
+
+	// Stats broken down as in Fig. 14.
+	Predictions  uint64 // confident predictions issued
+	CorrectCount uint64
+	MispredCount uint64
+	NoPredCount  uint64
+	FillRejects  uint64 // updates skipped by the contiguity-bit filter
+}
+
+// New builds a table with the given total entries and associativity
+// (paper evaluation: 32 entries, 4-way).
+func New(entries, ways int) *Table {
+	nsets := entries / ways
+	if nsets <= 0 || entries%ways != 0 {
+		panic("spot: bad geometry")
+	}
+	if nsets&(nsets-1) != 0 {
+		n := 1
+		for n*2 <= nsets {
+			n *= 2
+		}
+		nsets = n
+	}
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, ways)
+	}
+	return &Table{sets: sets, nsets: uint64(nsets), ways: ways}
+}
+
+func (t *Table) set(pc uint64) []entry { return t.sets[(pc>>2)&(t.nsets-1)] }
+
+func (t *Table) find(pc uint64) *entry {
+	set := t.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Predict consults the table on a last-level TLB miss for (pc, va).
+// A physical-address prediction is returned only when the entry's
+// confidence exceeds 1.
+func (t *Table) Predict(pc uint64, va addr.VirtAddr) (addr.PhysAddr, bool) {
+	t.tick++
+	e := t.find(pc)
+	if e == nil || (e.conf <= 1 && !t.DisableConfidence) {
+		return 0, false
+	}
+	e.lru = t.tick
+	return e.offset.Target(va), true
+}
+
+// Verify is called at the end of the verification walk with the true
+// translation. predicted/didPredict echo the Predict result so the
+// table can update confidence, and fillAllowed carries the OS
+// contiguity-bit filter (both dimensions set). It returns the outcome
+// classification for the performance model.
+func (t *Table) Verify(pc uint64, va addr.VirtAddr, truth addr.PhysAddr, predicted addr.PhysAddr, didPredict, fillAllowed bool) Outcome {
+	t.tick++
+	if t.IgnoreFilter {
+		fillAllowed = true
+	}
+	actual := addr.OffsetOf(va, truth)
+	e := t.find(pc)
+	outcome := NoPrediction
+	if didPredict {
+		t.Predictions++
+		if predicted == truth {
+			outcome = Correct
+			t.CorrectCount++
+		} else {
+			outcome = Mispredict
+			t.MispredCount++
+		}
+	} else {
+		t.NoPredCount++
+	}
+	switch {
+	case e != nil:
+		// Even without an issued prediction, the stored offset is
+		// compared against the walk result to train confidence.
+		if e.offset == actual {
+			if e.conf < 3 {
+				e.conf++
+			}
+		} else {
+			if e.conf > 0 {
+				e.conf--
+			}
+			// The offset is replaced only once confidence decays to 0,
+			// and only for offsets the OS marked as belonging to large
+			// contiguous mappings.
+			if e.conf == 0 {
+				if fillAllowed {
+					e.offset = actual
+					e.conf = 1
+				} else {
+					e.valid = false
+					t.FillRejects++
+				}
+			}
+		}
+		e.lru = t.tick
+	case fillAllowed:
+		t.insert(pc, actual)
+	default:
+		t.FillRejects++
+	}
+	return outcome
+}
+
+// insert places a new entry, preferring invalid ways, then confidence-0
+// ways in LRU order. When every way holds a confident offset the insert
+// is dropped — valuable offsets are not thrashed (§IV-C).
+func (t *Table) insert(pc uint64, off addr.Offset) {
+	set := t.set(pc)
+	victim := -1
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		for i := range set {
+			if set[i].conf == 0 && (victim < 0 || set[i].lru < set[victim].lru) {
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	set[victim] = entry{valid: true, tag: pc, offset: off, conf: 1, lru: t.tick}
+}
+
+// Confidence returns the confidence counter for pc (testing hook).
+func (t *Table) Confidence(pc uint64) (uint8, bool) {
+	if e := t.find(pc); e != nil {
+		return e.conf, true
+	}
+	return 0, false
+}

@@ -1,0 +1,45 @@
+package spot
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+func TestDisableConfidencePredictsImmediately(t *testing.T) {
+	tb := New(32, 4)
+	tb.DisableConfidence = true
+	off := addr.Offset(0x1000)
+	va := addr.VirtAddr(0x9000)
+	// First miss fills the entry (no prediction possible yet).
+	verifyTruth(tb, pc1, va, off.Target(va), true)
+	// Second miss: confidence is 1, but with the switch on a prediction
+	// is issued anyway.
+	v2 := va.Add(addr.PageSize)
+	if out := verifyTruth(tb, pc1, v2, off.Target(v2), true); out != Correct {
+		t.Fatalf("outcome = %v, want immediate Correct without confidence gate", out)
+	}
+	// And a wrong offset mispredicts instead of abstaining.
+	tb2 := New(32, 4)
+	tb2.DisableConfidence = true
+	verifyTruth(tb2, pc1, va, off.Target(va), true)
+	other := addr.Offset(0x555000)
+	v3 := va.Add(1 << 30)
+	if out := verifyTruth(tb2, pc1, v3, other.Target(v3), true); out != Mispredict {
+		t.Fatalf("outcome = %v, want Mispredict without confidence gate", out)
+	}
+}
+
+func TestIgnoreFilterFillsDespiteBits(t *testing.T) {
+	tb := New(32, 4)
+	tb.IgnoreFilter = true
+	va := addr.VirtAddr(0x9000)
+	// fillAllowed=false is overridden: the entry is created anyway.
+	verifyTruth(tb, pc1, va, 0x1000, false)
+	if _, ok := tb.Confidence(pc1); !ok {
+		t.Fatal("IgnoreFilter should admit the fill")
+	}
+	if tb.FillRejects != 0 {
+		t.Fatalf("FillRejects = %d with filter ignored", tb.FillRejects)
+	}
+}

@@ -1,0 +1,172 @@
+package spot
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+const pc1 = 0x400123
+
+// verifyTruth drives one miss cycle: Predict then Verify with truth.
+func verifyTruth(t *Table, pc uint64, va addr.VirtAddr, truth addr.PhysAddr, fill bool) Outcome {
+	pred, did := t.Predict(pc, va)
+	return t.Verify(pc, va, truth, pred, did, fill)
+}
+
+func TestConfidenceRampAndPrediction(t *testing.T) {
+	tb := New(32, 4)
+	off := addr.Offset(0x7000_0000_0000)
+	va := addr.VirtAddr(0x7000_0000_1000)
+	// Miss 1: cold fill (conf=1, no prediction issued).
+	if out := verifyTruth(tb, pc1, va, off.Target(va), true); out != NoPrediction {
+		t.Fatalf("first miss outcome = %v", out)
+	}
+	if c, ok := tb.Confidence(pc1); !ok || c != 1 {
+		t.Fatalf("conf = %d after fill", c)
+	}
+	// Miss 2: same offset — trains to 2, but conf was 1 so still no
+	// prediction issued for this miss.
+	va2 := va.Add(addr.HugeSize)
+	if out := verifyTruth(tb, pc1, va2, off.Target(va2), true); out != NoPrediction {
+		t.Fatalf("second miss outcome = %v", out)
+	}
+	// Miss 3: conf=2 now -> prediction issued and correct.
+	va3 := va.Add(2 * addr.HugeSize)
+	if out := verifyTruth(tb, pc1, va3, off.Target(va3), true); out != Correct {
+		t.Fatalf("third miss outcome = %v", out)
+	}
+	if tb.CorrectCount != 1 || tb.NoPredCount != 2 {
+		t.Fatalf("stats = correct:%d nopred:%d", tb.CorrectCount, tb.NoPredCount)
+	}
+}
+
+func TestMispredictionDecaysConfidence(t *testing.T) {
+	tb := New(32, 4)
+	off := addr.Offset(0x1000_0000)
+	va := addr.VirtAddr(0x2000_0000)
+	// Train to confidence 3.
+	for i := 0; i < 4; i++ {
+		v := va.Add(uint64(i) * addr.PageSize)
+		verifyTruth(tb, pc1, v, off.Target(v), true)
+	}
+	if c, _ := tb.Confidence(pc1); c != 3 {
+		t.Fatalf("conf = %d, want saturated 3", c)
+	}
+	// Now the instruction jumps to a differently-mapped region.
+	other := addr.Offset(0x5000_0000)
+	v := va.Add(1 << 30)
+	if out := verifyTruth(tb, pc1, v, other.Target(v), true); out != Mispredict {
+		t.Fatalf("outcome = %v, want mispredict", out)
+	}
+	if c, _ := tb.Confidence(pc1); c != 2 {
+		t.Fatalf("conf = %d after mispredict", c)
+	}
+	// Offset replaced only at confidence 0: two more mispredicts.
+	verifyTruth(tb, pc1, v, other.Target(v), true)
+	verifyTruth(tb, pc1, v, other.Target(v), true)
+	if c, _ := tb.Confidence(pc1); c != 1 {
+		t.Fatalf("conf = %d, want 1 (replaced offset)", c)
+	}
+	// The replaced offset now trains upward and predicts the new region.
+	v2 := v.Add(addr.PageSize)
+	verifyTruth(tb, pc1, v2, other.Target(v2), true)
+	v3 := v.Add(2 * addr.PageSize)
+	if out := verifyTruth(tb, pc1, v3, other.Target(v3), true); out != Correct {
+		t.Fatalf("outcome after retrain = %v", out)
+	}
+}
+
+func TestNoSpeculationAtLowConfidence(t *testing.T) {
+	tb := New(32, 4)
+	off := addr.Offset(0x1000)
+	va := addr.VirtAddr(0x9000)
+	verifyTruth(tb, pc1, va, off.Target(va), true) // conf=1
+	if _, did := tb.Predict(pc1, va); did {
+		t.Fatal("prediction issued at confidence 1")
+	}
+}
+
+func TestContiguityBitFilter(t *testing.T) {
+	tb := New(32, 4)
+	va := addr.VirtAddr(0x9000)
+	// Fill not allowed: no entry created.
+	verifyTruth(tb, pc1, va, 0x1000, false)
+	if _, ok := tb.Confidence(pc1); ok {
+		t.Fatal("entry created despite filter")
+	}
+	if tb.FillRejects != 1 {
+		t.Fatalf("FillRejects = %d", tb.FillRejects)
+	}
+	// Fill allowed: entry created; later decays on foreign offsets and,
+	// with the filter off, is invalidated rather than replaced.
+	verifyTruth(tb, pc1, va, 0x1000, true)
+	verifyTruth(tb, pc1, va, 0x2000, false) // conf 1->0, no replace
+	if _, ok := tb.Confidence(pc1); ok {
+		t.Fatal("filtered entry should be invalidated at conf 0")
+	}
+}
+
+func TestThrashingProtection(t *testing.T) {
+	// A single-set table full of confident entries must not evict them
+	// for new PCs.
+	tb := New(4, 4)
+	offs := []addr.Offset{0x1000, 0x2000, 0x3000, 0x4000}
+	va := addr.VirtAddr(0x100000)
+	for i, off := range offs {
+		pc := uint64(0x400000 + i*4)
+		for r := 0; r < 3; r++ {
+			v := va.Add(uint64(r) * addr.PageSize)
+			verifyTruth(tb, pc, v, off.Target(v), true)
+		}
+		if c, _ := tb.Confidence(pc); c < 2 {
+			t.Fatalf("pc %d conf = %d", i, c)
+		}
+	}
+	// A noisy new PC cannot displace them.
+	verifyTruth(tb, 0x500000, va, 0x99000, true)
+	for i := range offs {
+		pc := uint64(0x400000 + i*4)
+		if _, ok := tb.Confidence(pc); !ok {
+			t.Fatalf("confident entry %d thrashed out", i)
+		}
+	}
+	if _, ok := tb.Confidence(0x500000); ok {
+		t.Fatal("noisy PC inserted despite full confident set")
+	}
+}
+
+func TestPredictUsesByteGranularOffsets(t *testing.T) {
+	// SpOT offsets are unaligned and unlimited: a prediction for an
+	// address 3 GiB into a mapping with an odd page offset must be
+	// exact.
+	tb := New(32, 4)
+	off := addr.OffsetOf(0x7f00_0000_0000, 0x1234_5000) // unaligned pages
+	base := addr.VirtAddr(0x7f00_0000_0000)
+	for i := 0; i < 3; i++ {
+		v := base.Add(uint64(i) * 0x1000)
+		verifyTruth(tb, pc1, v, off.Target(v), true)
+	}
+	far := base.Add(3 << 30) // 3 GiB beyond: far past any huge page
+	pred, did := tb.Predict(pc1, far)
+	if !did || pred != off.Target(far) {
+		t.Fatalf("far prediction = (%v, %v)", pred, did)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if Correct.String() != "correct" || Mispredict.String() != "mispredict" || NoPrediction.String() != "no-prediction" {
+		t.Fatal("outcome strings")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	New(32, 4) // paper config
+	New(64, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry should panic")
+		}
+	}()
+	New(5, 4)
+}

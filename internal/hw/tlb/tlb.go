@@ -1,0 +1,127 @@
+// Package tlb models the set-associative last-level data TLB (L2 STLB)
+// whose misses the paper instruments: a unified 4 KiB + 2 MiB structure
+// with LRU replacement, matching the Broadwell configuration of
+// Table II (1536 entries, 6-way).
+//
+// Only the last-level TLB is modelled: the paper's methodology (§V)
+// considers "only the costly L2 STLB misses that trigger page walks".
+package tlb
+
+import "repro/internal/mem/addr"
+
+type entry struct {
+	valid bool
+	huge  bool
+	tag   uint64 // page number (4K VPN or 2M VPN)
+	lru   uint64
+}
+
+// TLB is a unified set-associative translation cache.
+type TLB struct {
+	sets    [][]entry
+	nsets   uint64
+	ways    int
+	tick    uint64
+	lookups uint64
+	misses  uint64
+}
+
+// New creates a TLB with the given total entry count and associativity.
+// entries must be a multiple of ways with a power-of-two set count.
+func New(entries, ways int) *TLB {
+	nsets := entries / ways
+	if nsets <= 0 || entries%ways != 0 {
+		panic("tlb: bad geometry")
+	}
+	if nsets&(nsets-1) != 0 {
+		// Round down to a power of two so masking works; the paper's
+		// 1536/6 = 256 sets is already a power of two.
+		n := 1
+		for n*2 <= nsets {
+			n *= 2
+		}
+		nsets = n
+	}
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, ways)
+	}
+	return &TLB{sets: sets, nsets: uint64(nsets), ways: ways}
+}
+
+// Lookups returns the number of lookups performed.
+func (t *TLB) Lookups() uint64 { return t.lookups }
+
+// Misses returns the number of lookups that missed.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// MissRatio returns misses/lookups (0 when idle).
+func (t *TLB) MissRatio() float64 {
+	if t.lookups == 0 {
+		return 0
+	}
+	return float64(t.misses) / float64(t.lookups)
+}
+
+func (t *TLB) set(tag uint64) []entry { return t.sets[tag&(t.nsets-1)] }
+
+// Lookup probes the TLB for va at both page sizes, updating LRU and
+// counters. It reports whether the translation was cached.
+func (t *TLB) Lookup(va addr.VirtAddr) bool {
+	t.lookups++
+	t.tick++
+	tag4k := uint64(va) >> addr.PageShift
+	tag2m := uint64(va) >> addr.HugeShift
+	for _, probe := range []struct {
+		tag  uint64
+		huge bool
+	}{{tag4k, false}, {tag2m, true}} {
+		set := t.set(probe.tag)
+		for i := range set {
+			if set[i].valid && set[i].huge == probe.huge && set[i].tag == probe.tag {
+				set[i].lru = t.tick
+				return true
+			}
+		}
+	}
+	t.misses++
+	return false
+}
+
+// Insert caches the translation covering va with the given page size,
+// evicting the LRU way of its set.
+func (t *TLB) Insert(va addr.VirtAddr, huge bool) {
+	t.tick++
+	tag := uint64(va) >> addr.PageShift
+	if huge {
+		tag = uint64(va) >> addr.HugeShift
+	}
+	set := t.set(tag)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = entry{valid: true, huge: huge, tag: tag, lru: t.tick}
+}
+
+// Flush invalidates all entries (context switch / shootdown).
+func (t *TLB) Flush() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = entry{}
+		}
+	}
+}
+
+// ResetStats clears the lookup/miss counters (e.g. after the population
+// phase, mirroring the paper's PAPI-delimited measurement region).
+func (t *TLB) ResetStats() {
+	t.lookups = 0
+	t.misses = 0
+}

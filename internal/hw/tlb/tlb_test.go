@@ -1,0 +1,132 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+func TestColdMissThenHit(t *testing.T) {
+	tl := New(1536, 6)
+	va := addr.VirtAddr(0x1000)
+	if tl.Lookup(va) {
+		t.Fatal("cold lookup should miss")
+	}
+	tl.Insert(va, false)
+	if !tl.Lookup(va) {
+		t.Fatal("hit expected after insert")
+	}
+	if tl.Lookups() != 2 || tl.Misses() != 1 {
+		t.Fatalf("counters = %d/%d", tl.Lookups(), tl.Misses())
+	}
+	if tl.MissRatio() != 0.5 {
+		t.Fatalf("ratio = %f", tl.MissRatio())
+	}
+}
+
+func TestHugeEntryCoversRegion(t *testing.T) {
+	tl := New(1536, 6)
+	base := addr.VirtAddr(8 * addr.HugeSize)
+	tl.Insert(base, true)
+	// Any address within the 2 MiB region hits.
+	for _, off := range []uint64{0, addr.PageSize, addr.HugeSize - 1} {
+		if !tl.Lookup(base.Add(off)) {
+			t.Fatalf("huge entry should cover +%d", off)
+		}
+	}
+	// Outside the region misses.
+	if tl.Lookup(base.Add(addr.HugeSize)) {
+		t.Fatal("adjacent region should miss")
+	}
+}
+
+func Test4KEntryDoesNotCoverNeighbour(t *testing.T) {
+	tl := New(64, 4)
+	tl.Insert(0x1000, false)
+	if tl.Lookup(0x2000) {
+		t.Fatal("4K entry must not cover the next page")
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	// 4 entries, 4 ways: one set. Insert 4, touch the first, insert a
+	// 5th: the LRU victim must be the untouched second entry.
+	tl := New(4, 4)
+	vas := []addr.VirtAddr{0x1000, 0x2000, 0x3000, 0x4000}
+	for _, va := range vas {
+		tl.Insert(va, false)
+	}
+	if !tl.Lookup(vas[0]) {
+		t.Fatal("miss on resident entry")
+	}
+	tl.Insert(0x9000, false)
+	if !tl.Lookup(vas[0]) {
+		t.Fatal("recently used entry evicted")
+	}
+	if tl.Lookup(vas[1]) {
+		t.Fatal("LRU entry not evicted")
+	}
+}
+
+func TestCapacityMissBehaviour(t *testing.T) {
+	// Working set larger than the TLB produces a high miss ratio;
+	// smaller working set after warm-up hits ~always.
+	tl := New(64, 4)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 1024; i++ {
+			va := addr.VirtAddr(i) << addr.PageShift
+			if !tl.Lookup(va) {
+				tl.Insert(va, false)
+			}
+		}
+	}
+	if tl.MissRatio() < 0.9 {
+		t.Fatalf("thrashing working set ratio = %f", tl.MissRatio())
+	}
+	tl.ResetStats()
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 32; i++ {
+			va := addr.VirtAddr(i) << addr.PageShift
+			if !tl.Lookup(va) {
+				tl.Insert(va, false)
+			}
+		}
+	}
+	if tl.MissRatio() > 0.2 {
+		t.Fatalf("resident working set ratio = %f", tl.MissRatio())
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tl := New(64, 4)
+	tl.Insert(0x1000, false)
+	tl.Flush()
+	if tl.Lookup(0x1000) {
+		t.Fatal("hit after flush")
+	}
+}
+
+func TestGeometryRounding(t *testing.T) {
+	// 6-way 1536 entries -> 256 sets (power of two) must not panic.
+	New(1536, 6)
+	// Non-power-of-two set count rounds down.
+	tl := New(48, 4) // 12 sets -> rounds to 8
+	if tl.nsets != 8 {
+		t.Fatalf("nsets = %d, want 8", tl.nsets)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry should panic")
+		}
+	}()
+	New(5, 4)
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	tl := New(1536, 6)
+	tl.Insert(0x1000, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tl.Lookup(0x1000)
+	}
+}

@@ -1,0 +1,74 @@
+// Package walker models page-walk latency: the average cycle cost of
+// native (1D) and nested (2D) walks as a function of the table levels
+// touched, with an MMU-cache discount folded into a per-reference
+// latency. The constants reproduce the averages the paper measures
+// (§VI-B: "the average page walk latency is ~81 cycles" for nested THP)
+// and the methodology's Table IV model consumes them as AvgC values.
+package walker
+
+import "repro/internal/virt"
+
+// CyclesPerRef is the effective cost of one page-table reference after
+// MMU caching (paging-structure caches hit the upper levels, so the
+// blended per-reference cost is a few cycles).
+const CyclesPerRef = 5.4
+
+// Native walk reference counts by leaf level.
+const (
+	refsNative4K = 4 // PGD, PUD, PMD, PT
+	refsNative2M = 3 // PGD, PUD, PMD
+)
+
+// Native average walk costs (cycles). Unlike the nested costs, these
+// are not pure refs×latency: at big-memory footprints the
+// paging-structure caches and the data-cache residency of PTEs degrade,
+// so we use averages in line with measured native walks on Broadwell
+// rather than the optimistic refs-only product.
+const (
+	nativeAvg4K = 45.0
+	nativeAvg2M = 35.0
+)
+
+// Costs holds the average walk costs (cycles) the performance model
+// uses. Zero values mean "unmeasured".
+type Costs struct {
+	Native4K float64
+	Native2M float64
+	// Nested costs are computed from the 2D reference structure
+	// (g+1)*(h+1)-1.
+	Nested4K4K float64 // 4K guest leaf over 4K host leaf: 24 refs
+	Nested2M2M float64 // 2M over 2M: 15 refs
+}
+
+// DefaultCosts returns the model constants.
+func DefaultCosts() Costs {
+	return Costs{
+		Native4K:   nativeAvg4K,
+		Native2M:   nativeAvg2M,
+		Nested4K4K: (4+1)*(4+1)*CyclesPerRef - CyclesPerRef, // 24 refs
+		Nested2M2M: (3+1)*(3+1)*CyclesPerRef - CyclesPerRef, // 15 refs
+	}
+}
+
+// NativeCost returns the walk cost for a native walk with the given
+// leaf level (0 = 4K, 1 = 2M).
+func NativeCost(level int) float64 {
+	if level == 1 {
+		return nativeAvg2M
+	}
+	return nativeAvg4K
+}
+
+// NestedCost returns the walk cost of a nested walk result, derived
+// from its actual reference count.
+func NestedCost(w virt.NestedWalk) float64 {
+	return float64(w.Refs) * CyclesPerRef
+}
+
+// NestedCostForLevels returns the nested walk cost for given guest and
+// host leaf levels without a concrete walk (used by analytic sweeps).
+func NestedCostForLevels(guestLevel, hostLevel int) float64 {
+	g := 4 - guestLevel
+	h := 4 - hostLevel
+	return float64((g+1)*(h+1)-1) * CyclesPerRef
+}

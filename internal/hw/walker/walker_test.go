@@ -1,0 +1,56 @@
+package walker
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/virt"
+)
+
+func TestDefaultCosts(t *testing.T) {
+	c := DefaultCosts()
+	// Nested THP walk ~81 cycles (paper's measured average).
+	if math.Abs(c.Nested2M2M-81) > 5 {
+		t.Fatalf("Nested2M2M = %f, want ~81", c.Nested2M2M)
+	}
+	// Nested 4K: 24 refs, the canonical worst case.
+	if math.Abs(c.Nested4K4K-24*CyclesPerRef) > 1e-9 {
+		t.Fatalf("Nested4K4K = %f", c.Nested4K4K)
+	}
+	// Ordering: nested > native, 4K > 2M.
+	if !(c.Nested4K4K > c.Nested2M2M && c.Nested2M2M > c.Native2M && c.Native4K > c.Native2M) {
+		t.Fatalf("cost ordering violated: %+v", c)
+	}
+}
+
+func TestNativeCost(t *testing.T) {
+	if NativeCost(0) <= NativeCost(1) {
+		t.Fatal("4K walk should cost more than 2M walk")
+	}
+	c := DefaultCosts()
+	if NativeCost(0) != c.Native4K || NativeCost(1) != c.Native2M {
+		t.Fatal("native costs disagree with DefaultCosts")
+	}
+}
+
+func TestNestedCostFromWalk(t *testing.T) {
+	w := virt.NestedWalk{Refs: 15, OK: true}
+	if NestedCost(w) != 15*CyclesPerRef {
+		t.Fatal("NestedCost wrong")
+	}
+}
+
+func TestNestedCostForLevels(t *testing.T) {
+	// 4K/4K: g=4, h=4 -> 24 refs. 2M/2M: g=3,h=3 -> 15 refs.
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-6 }
+	if !approx(NestedCostForLevels(0, 0), 24*CyclesPerRef) {
+		t.Fatal("4K/4K nested cost wrong")
+	}
+	if !approx(NestedCostForLevels(1, 1), 15*CyclesPerRef) {
+		t.Fatal("2M/2M nested cost wrong")
+	}
+	// Mixed: 2M guest over 4K host: (3+1)*(4+1)-1 = 19.
+	if !approx(NestedCostForLevels(1, 0), 19*CyclesPerRef) {
+		t.Fatal("2M/4K nested cost wrong")
+	}
+}

@@ -1,0 +1,467 @@
+// Package buddy implements a power-of-two buddy allocator equivalent to
+// the Linux page allocator the paper builds on: per-order free lists for
+// orders 0..addr.MaxOrder, block splitting and buddy coalescing, and two
+// extensions CA paging needs:
+//
+//   - targeted allocation (AllocBlockAt): carve a specific physical block
+//     out of whatever free block contains it, used when CA paging steers
+//     a fault to Offset-predicted frames;
+//   - an optionally address-sorted MAX_ORDER list (SetSorted), the
+//     paper's anti-fragmentation optimisation that stops fallback 4 KiB
+//     allocations from scattering across (and splitting) distant large
+//     free blocks.
+//
+// The allocator also exposes insert/remove hooks on the MAX_ORDER list,
+// which the contiguity map uses to track unaligned free clusters.
+package buddy
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/frame"
+)
+
+// ErrNoMemory is returned when no free block can satisfy a request.
+var ErrNoMemory = errors.New("buddy: out of memory")
+
+// ErrNotFree is returned by targeted allocation when the requested block
+// is not (fully) free.
+var ErrNotFree = errors.New("buddy: target block not free")
+
+// Hooks receive MAX_ORDER free-list membership changes; the contiguity
+// map subscribes to these to maintain its cluster index.
+type Hooks struct {
+	// MaxOrderInsert is called after a MAX_ORDER block becomes free.
+	MaxOrderInsert func(pfn addr.PFN)
+	// MaxOrderRemove is called before a MAX_ORDER block leaves the
+	// free list (allocation or split).
+	MaxOrderRemove func(pfn addr.PFN)
+}
+
+// Buddy is a buddy allocator managing the frame range
+// [base, base+npages) within a shared frame table.
+type Buddy struct {
+	frames *frame.Table
+	base   addr.PFN
+	npages uint64
+
+	// Intrusive doubly-linked free lists, one head per order. next and
+	// prev are indexed by pfn-base and only meaningful for frames that
+	// are the head of a free block currently on a list.
+	heads [addr.MaxOrder + 1]addr.PFN
+	next  []addr.PFN
+	prev  []addr.PFN
+
+	freePages     uint64
+	perOrderCount [addr.MaxOrder + 1]uint64
+
+	sorted bool
+	hooks  Hooks
+}
+
+// New creates a buddy allocator over [base, base+npages). base must be
+// MAX_ORDER aligned and npages a multiple of the MAX_ORDER block size so
+// that buddy pairs never straddle the managed range. All frames are
+// released to the allocator (marked free) immediately.
+func New(frames *frame.Table, base addr.PFN, npages uint64) *Buddy {
+	if !addr.AlignedTo(base, addr.MaxOrder) {
+		panic(fmt.Sprintf("buddy: base %d not MAX_ORDER aligned", base))
+	}
+	if npages == 0 || npages%addr.MaxOrderPages != 0 {
+		panic(fmt.Sprintf("buddy: npages %d not a multiple of MAX_ORDER block", npages))
+	}
+	b := &Buddy{
+		frames: frames,
+		base:   base,
+		npages: npages,
+		next:   make([]addr.PFN, npages),
+		prev:   make([]addr.PFN, npages),
+	}
+	for o := range b.heads {
+		b.heads[o] = addr.NoPFN
+	}
+	for pfn := base; pfn < base+addr.PFN(npages); pfn += addr.MaxOrderPages {
+		for i := addr.PFN(0); i < addr.MaxOrderPages; i++ {
+			f := frames.Get(pfn + i)
+			f.State = frame.Free
+			f.BuddyOrder = -1
+			f.AllocOrder = -1
+		}
+		b.listInsert(pfn, addr.MaxOrder)
+		b.freePages += addr.MaxOrderPages
+	}
+	return b
+}
+
+// SetHooks installs MAX_ORDER list observers. Must be called before any
+// allocation traffic if the observer needs a complete picture; the
+// contiguity map instead performs an initial scan via VisitMaxOrder.
+func (b *Buddy) SetHooks(h Hooks) { b.hooks = h }
+
+// SetSorted enables or disables the address-sorted MAX_ORDER list.
+// Enabling re-sorts the current list so the invariant holds immediately.
+func (b *Buddy) SetSorted(on bool) {
+	b.sorted = on
+	if !on {
+		return
+	}
+	// Drain and re-insert: the list is short, so selection re-insertion
+	// is fine. Hooks are suppressed — membership does not change.
+	saved := b.hooks
+	b.hooks = Hooks{}
+	var blocks []addr.PFN
+	for b.heads[addr.MaxOrder] != addr.NoPFN {
+		pfn := b.heads[addr.MaxOrder]
+		b.listRemove(pfn, addr.MaxOrder)
+		blocks = append(blocks, pfn)
+	}
+	for _, pfn := range blocks {
+		b.listInsert(pfn, addr.MaxOrder)
+	}
+	b.hooks = saved
+}
+
+// Sorted reports whether the MAX_ORDER list is kept address-sorted.
+func (b *Buddy) Sorted() bool { return b.sorted }
+
+// Base returns the first managed PFN.
+func (b *Buddy) Base() addr.PFN { return b.base }
+
+// Pages returns the number of managed frames.
+func (b *Buddy) Pages() uint64 { return b.npages }
+
+// FreePages returns the number of currently free frames.
+func (b *Buddy) FreePages() uint64 { return b.freePages }
+
+// FreeBlocks returns the number of free blocks of the given order.
+func (b *Buddy) FreeBlocks(order int) uint64 { return b.perOrderCount[order] }
+
+// Contains reports whether pfn is managed by this allocator.
+func (b *Buddy) Contains(pfn addr.PFN) bool {
+	return pfn >= b.base && uint64(pfn-b.base) < b.npages
+}
+
+// --- free-list primitives ---
+
+func (b *Buddy) idx(pfn addr.PFN) uint64 { return uint64(pfn - b.base) }
+
+func (b *Buddy) listInsert(pfn addr.PFN, order int) {
+	i := b.idx(pfn)
+	if b.sorted && order == addr.MaxOrder && b.heads[order] != addr.NoPFN {
+		// Insertion-sort by physical address. The MAX_ORDER list is
+		// short (one entry per 4 MiB of free memory), so the linear
+		// walk is cheap; the paper uses neighbour-address recursion
+		// for the same effect.
+		if pfn < b.heads[order] {
+			b.next[i] = b.heads[order]
+			b.prev[i] = addr.NoPFN
+			b.prev[b.idx(b.heads[order])] = pfn
+			b.heads[order] = pfn
+		} else {
+			cur := b.heads[order]
+			for b.next[b.idx(cur)] != addr.NoPFN && b.next[b.idx(cur)] < pfn {
+				cur = b.next[b.idx(cur)]
+			}
+			nxt := b.next[b.idx(cur)]
+			b.next[b.idx(cur)] = pfn
+			b.prev[i] = cur
+			b.next[i] = nxt
+			if nxt != addr.NoPFN {
+				b.prev[b.idx(nxt)] = pfn
+			}
+		}
+	} else {
+		b.next[i] = b.heads[order]
+		b.prev[i] = addr.NoPFN
+		if b.heads[order] != addr.NoPFN {
+			b.prev[b.idx(b.heads[order])] = pfn
+		}
+		b.heads[order] = pfn
+	}
+	b.frames.Get(pfn).BuddyOrder = int8(order)
+	b.perOrderCount[order]++
+	if order == addr.MaxOrder && b.hooks.MaxOrderInsert != nil {
+		b.hooks.MaxOrderInsert(pfn)
+	}
+}
+
+func (b *Buddy) listRemove(pfn addr.PFN, order int) {
+	if order == addr.MaxOrder && b.hooks.MaxOrderRemove != nil {
+		b.hooks.MaxOrderRemove(pfn)
+	}
+	i := b.idx(pfn)
+	if b.prev[i] != addr.NoPFN {
+		b.next[b.idx(b.prev[i])] = b.next[i]
+	} else {
+		b.heads[order] = b.next[i]
+	}
+	if b.next[i] != addr.NoPFN {
+		b.prev[b.idx(b.next[i])] = b.prev[i]
+	}
+	b.frames.Get(pfn).BuddyOrder = -1
+	b.perOrderCount[order]--
+}
+
+func (b *Buddy) markAllocated(pfn addr.PFN, order int) {
+	n := addr.PFN(addr.OrderPages(order))
+	for i := addr.PFN(0); i < n; i++ {
+		f := b.frames.Get(pfn + i)
+		f.State = frame.Allocated
+		f.AllocOrder = -1
+	}
+	b.frames.Get(pfn).AllocOrder = int8(order)
+	b.freePages -= addr.OrderPages(order)
+}
+
+func (b *Buddy) markFree(pfn addr.PFN, order int) {
+	n := addr.PFN(addr.OrderPages(order))
+	for i := addr.PFN(0); i < n; i++ {
+		f := b.frames.Get(pfn + i)
+		f.State = frame.Free
+		f.AllocOrder = -1
+		f.MapCount = 0
+	}
+	b.freePages += addr.OrderPages(order)
+}
+
+// --- public allocation API ---
+
+// AllocBlock allocates a block of 2^order pages, splitting a larger
+// block if needed. With the sorted MAX_ORDER list enabled, splits carve
+// the lowest-addressed large block, concentrating fallback allocations.
+func (b *Buddy) AllocBlock(order int) (addr.PFN, error) {
+	if order < 0 || order > addr.MaxOrder {
+		return 0, fmt.Errorf("buddy: invalid order %d", order)
+	}
+	from := -1
+	for o := order; o <= addr.MaxOrder; o++ {
+		if b.heads[o] != addr.NoPFN {
+			from = o
+			break
+		}
+	}
+	if from < 0 {
+		return 0, ErrNoMemory
+	}
+	pfn := b.heads[from]
+	b.listRemove(pfn, from)
+	// Split down to the requested order, returning upper halves.
+	for o := from; o > order; o-- {
+		upper := pfn + addr.PFN(addr.OrderPages(o-1))
+		b.listInsert(upper, o-1)
+	}
+	b.markAllocated(pfn, order)
+	return pfn, nil
+}
+
+// AllocBlockAt allocates the specific 2^order block starting at pfn,
+// which must be order-aligned and fully free. This is the targeted path
+// CA paging uses to extend a contiguous mapping: the frame-table check
+// plus block split the paper describes in §III-B.
+func (b *Buddy) AllocBlockAt(pfn addr.PFN, order int) error {
+	if order < 0 || order > addr.MaxOrder {
+		return fmt.Errorf("buddy: invalid order %d", order)
+	}
+	if !addr.AlignedTo(pfn, order) {
+		return fmt.Errorf("buddy: PFN %d not aligned for order %d", pfn, order)
+	}
+	if !b.Contains(pfn) || !b.Contains(pfn+addr.PFN(addr.OrderPages(order))-1) {
+		return ErrNotFree
+	}
+	head, bo, ok := b.findFreeBlock(pfn)
+	if !ok || bo < order {
+		return ErrNotFree
+	}
+	// The containing free block must cover the whole requested block;
+	// alignment guarantees it does once bo >= order and pfn inside.
+	b.listRemove(head, bo)
+	for o := bo; o > order; o-- {
+		half := addr.PFN(addr.OrderPages(o - 1))
+		lower, upper := head, head+half
+		if pfn >= upper {
+			b.listInsert(lower, o-1)
+			head = upper
+		} else {
+			b.listInsert(upper, o-1)
+		}
+	}
+	b.markAllocated(pfn, order)
+	return nil
+}
+
+// findFreeBlock locates the free block (head, order) containing pfn, if
+// the frame is free. Heads are discoverable because only the head of a
+// listed block carries BuddyOrder >= 0.
+func (b *Buddy) findFreeBlock(pfn addr.PFN) (addr.PFN, int, bool) {
+	if !b.Contains(pfn) || b.frames.Get(pfn).State != frame.Free {
+		return 0, 0, false
+	}
+	for o := 0; o <= addr.MaxOrder; o++ {
+		head := addr.PFN(uint64(pfn) &^ (addr.OrderPages(o) - 1))
+		if !b.Contains(head) {
+			return 0, 0, false
+		}
+		if b.frames.Get(head).BuddyOrder == int8(o) {
+			return head, o, true
+		}
+	}
+	return 0, 0, false
+}
+
+// FreeBlock returns a previously allocated 2^order block to the
+// allocator, coalescing with free buddies as far as possible.
+func (b *Buddy) FreeBlock(pfn addr.PFN, order int) {
+	if !addr.AlignedTo(pfn, order) {
+		panic(fmt.Sprintf("buddy: freeing unaligned block %d order %d", pfn, order))
+	}
+	if !b.Contains(pfn) {
+		panic(fmt.Sprintf("buddy: freeing foreign PFN %d", pfn))
+	}
+	b.markFree(pfn, order)
+	for order < addr.MaxOrder {
+		bud := addr.BuddyOf(pfn, order)
+		if !b.Contains(bud) || b.frames.Get(bud).BuddyOrder != int8(order) {
+			break
+		}
+		b.listRemove(bud, order)
+		pfn = addr.ParentOf(pfn, order)
+		order++
+	}
+	b.listInsert(pfn, order)
+}
+
+// Reserve removes an arbitrary page run [pfn, pfn+npages) from the free
+// pool, decomposing it into aligned order blocks. Every frame in the run
+// must be free. Used by eager pre-allocation and the hog fragmenter.
+func (b *Buddy) Reserve(pfn addr.PFN, npages uint64) error {
+	if !b.Contains(pfn) || npages == 0 || !b.Contains(pfn+addr.PFN(npages)-1) {
+		return ErrNotFree
+	}
+	if !b.frames.RangeFree(pfn, npages) {
+		return ErrNotFree
+	}
+	cur, left := pfn, npages
+	for left > 0 {
+		o := maxAlignedOrder(cur, left)
+		if err := b.AllocBlockAt(cur, o); err != nil {
+			// Cannot happen after the RangeFree check; treat as a
+			// simulator invariant violation.
+			panic(fmt.Sprintf("buddy: Reserve lost block at %d order %d: %v", cur, o, err))
+		}
+		cur += addr.PFN(addr.OrderPages(o))
+		left -= addr.OrderPages(o)
+	}
+	return nil
+}
+
+// FreeRange releases an arbitrary page run, decomposing it into aligned
+// order blocks and coalescing each.
+func (b *Buddy) FreeRange(pfn addr.PFN, npages uint64) {
+	cur, left := pfn, npages
+	for left > 0 {
+		o := maxAlignedOrder(cur, left)
+		b.FreeBlock(cur, o)
+		cur += addr.PFN(addr.OrderPages(o))
+		left -= addr.OrderPages(o)
+	}
+}
+
+// maxAlignedOrder returns the largest order such that cur is aligned and
+// the block fits within left pages.
+func maxAlignedOrder(cur addr.PFN, left uint64) int {
+	o := 0
+	for o < addr.MaxOrder &&
+		addr.AlignedTo(cur, o+1) &&
+		addr.OrderPages(o+1) <= left {
+		o++
+	}
+	return o
+}
+
+// VisitMaxOrder calls fn for every block currently on the MAX_ORDER free
+// list, in list order.
+func (b *Buddy) VisitMaxOrder(fn func(pfn addr.PFN)) {
+	for pfn := b.heads[addr.MaxOrder]; pfn != addr.NoPFN; pfn = b.next[b.idx(pfn)] {
+		fn(pfn)
+	}
+}
+
+// LargestAlignedFree returns the order of the largest free block
+// available (possibly after coalescing state already reflected in the
+// lists), or -1 if memory is exhausted.
+func (b *Buddy) LargestAlignedFree() int {
+	for o := addr.MaxOrder; o >= 0; o-- {
+		if b.heads[o] != addr.NoPFN {
+			return o
+		}
+	}
+	return -1
+}
+
+// CheckInvariants validates the allocator's internal consistency. It is
+// exercised by tests (including property-based ones) and is deliberately
+// thorough rather than fast.
+func (b *Buddy) CheckInvariants() error {
+	covered := make(map[addr.PFN]bool)
+	var listedFree uint64
+	for o := 0; o <= addr.MaxOrder; o++ {
+		var count uint64
+		prev := addr.NoPFN
+		for pfn := b.heads[o]; pfn != addr.NoPFN; pfn = b.next[b.idx(pfn)] {
+			count++
+			if !addr.AlignedTo(pfn, o) {
+				return fmt.Errorf("order %d block %d misaligned", o, pfn)
+			}
+			if b.frames.Get(pfn).BuddyOrder != int8(o) {
+				return fmt.Errorf("order %d block %d head marking mismatch", o, pfn)
+			}
+			if b.prev[b.idx(pfn)] != prev {
+				return fmt.Errorf("order %d block %d prev-link broken", o, pfn)
+			}
+			n := addr.PFN(addr.OrderPages(o))
+			for i := addr.PFN(0); i < n; i++ {
+				if covered[pfn+i] {
+					return fmt.Errorf("frame %d covered by two free blocks", pfn+i)
+				}
+				covered[pfn+i] = true
+				if b.frames.Get(pfn+i).State != frame.Free {
+					return fmt.Errorf("frame %d on free list but state %v", pfn+i, b.frames.Get(pfn+i).State)
+				}
+			}
+			// Canonical coalescing: a listed block's buddy must not
+			// also be listed at the same order.
+			if o < addr.MaxOrder {
+				bud := addr.BuddyOf(pfn, o)
+				if b.Contains(bud) && b.frames.Get(bud).BuddyOrder == int8(o) {
+					return fmt.Errorf("order %d blocks %d and %d are uncoalesced buddies", o, pfn, bud)
+				}
+			}
+			listedFree += addr.OrderPages(o)
+			prev = pfn
+		}
+		if count != b.perOrderCount[o] {
+			return fmt.Errorf("order %d count %d != recorded %d", o, count, b.perOrderCount[o])
+		}
+	}
+	if listedFree != b.freePages {
+		return fmt.Errorf("listed free pages %d != counter %d", listedFree, b.freePages)
+	}
+	// Every Free-state frame in range must be covered by a listed block.
+	for pfn := b.base; pfn < b.base+addr.PFN(b.npages); pfn++ {
+		if b.frames.Get(pfn).State == frame.Free && !covered[pfn] {
+			return fmt.Errorf("frame %d free but not on any list", pfn)
+		}
+	}
+	if b.sorted {
+		prev := addr.NoPFN
+		for pfn := b.heads[addr.MaxOrder]; pfn != addr.NoPFN; pfn = b.next[b.idx(pfn)] {
+			if prev != addr.NoPFN && pfn < prev {
+				return fmt.Errorf("MAX_ORDER list unsorted: %d after %d", pfn, prev)
+			}
+			prev = pfn
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+// Package frame models the kernel's mem_map: one metadata record per
+// physical page frame. CA paging consults this table to decide whether
+// the target frame of an offset-directed allocation is free, exactly as
+// the paper describes Linux doing through the page struct's _mapcount
+// and _count attributes.
+//
+// The table also re-purposes a per-frame pointer ("mapping" in Linux) to
+// point free MAX_ORDER base blocks at their contiguity-map cluster, so
+// cluster updates on buddy insert/delete run in O(1).
+package frame
+
+import (
+	"fmt"
+
+	"repro/internal/mem/addr"
+)
+
+// State describes what a frame is currently used for.
+type State uint8
+
+const (
+	// Free: the frame belongs to a buddy free block (possibly as the
+	// interior of a larger block).
+	Free State = iota
+	// Allocated: the frame backs an anonymous or page-cache mapping.
+	Allocated
+	// Reserved: the frame is pinned by the "kernel" (hog memory,
+	// firmware holes); it never enters the buddy allocator.
+	Reserved
+)
+
+func (s State) String() string {
+	switch s {
+	case Free:
+		return "free"
+	case Allocated:
+		return "allocated"
+	case Reserved:
+		return "reserved"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// Frame is the per-page metadata record (Linux: struct page).
+type Frame struct {
+	// State is the coarse usage state.
+	State State
+
+	// BuddyOrder is meaningful only for the head frame of a free buddy
+	// block currently sitting on a free list; -1 otherwise.
+	BuddyOrder int8
+
+	// AllocOrder remembers the order the frame's block was allocated
+	// with (0 for 4K, 9 for THP), on the head frame of the allocation.
+	AllocOrder int8
+
+	// MapCount counts the number of page-table mappings referencing the
+	// frame (Linux _mapcount+1 semantics simplified: 0 = unmapped).
+	MapCount int32
+
+	// Cluster is the contiguity-map cluster ID this frame's MAX_ORDER
+	// block belongs to while free; 0 means none. (Linux re-purposes the
+	// page->mapping field the same way.)
+	Cluster uint32
+
+	// Zone is the NUMA node the frame belongs to.
+	Zone uint8
+}
+
+// Table is the machine-wide frame table, indexed by PFN.
+type Table struct {
+	frames []Frame
+	base   addr.PFN // first PFN covered (usually 0)
+}
+
+// NewTable creates a frame table covering nframes frames starting at
+// base. All frames start Reserved; zones release them to their buddy
+// allocators at boot.
+func NewTable(base addr.PFN, nframes uint64) *Table {
+	t := &Table{
+		frames: make([]Frame, nframes),
+		base:   base,
+	}
+	for i := range t.frames {
+		t.frames[i].State = Reserved
+		t.frames[i].BuddyOrder = -1
+		t.frames[i].AllocOrder = -1
+	}
+	return t
+}
+
+// Len returns the number of frames covered.
+func (t *Table) Len() uint64 { return uint64(len(t.frames)) }
+
+// Base returns the first covered PFN.
+func (t *Table) Base() addr.PFN { return t.base }
+
+// Contains reports whether pfn is within the table.
+func (t *Table) Contains(pfn addr.PFN) bool {
+	return pfn >= t.base && uint64(pfn-t.base) < uint64(len(t.frames))
+}
+
+// Get returns the frame record for pfn. It panics on out-of-range PFNs:
+// those indicate a simulator bug, not a recoverable condition.
+func (t *Table) Get(pfn addr.PFN) *Frame {
+	if !t.Contains(pfn) {
+		panic(fmt.Sprintf("frame: PFN %d outside table [%d,%d)", pfn, t.base, uint64(t.base)+t.Len()))
+	}
+	return &t.frames[pfn-t.base]
+}
+
+// IsFree reports whether the frame is free (available to the allocator).
+func (t *Table) IsFree(pfn addr.PFN) bool {
+	return t.Contains(pfn) && t.Get(pfn).State == Free
+}
+
+// RangeFree reports whether all npages frames starting at pfn are free.
+func (t *Table) RangeFree(pfn addr.PFN, npages uint64) bool {
+	if !t.Contains(pfn) || !t.Contains(pfn+addr.PFN(npages-1)) {
+		return false
+	}
+	for i := uint64(0); i < npages; i++ {
+		if t.Get(pfn+addr.PFN(i)).State != Free {
+			return false
+		}
+	}
+	return true
+}
+
+// CountState counts frames currently in the given state; used by tests
+// and fragmentation metrics.
+func (t *Table) CountState(s State) uint64 {
+	var n uint64
+	for i := range t.frames {
+		if t.frames[i].State == s {
+			n++
+		}
+	}
+	return n
+}

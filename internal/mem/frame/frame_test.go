@@ -1,0 +1,90 @@
+package frame
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+func TestNewTableStartsReserved(t *testing.T) {
+	tab := NewTable(0, 128)
+	if tab.Len() != 128 {
+		t.Fatalf("Len = %d, want 128", tab.Len())
+	}
+	if got := tab.CountState(Reserved); got != 128 {
+		t.Fatalf("reserved = %d, want 128", got)
+	}
+	f := tab.Get(0)
+	if f.BuddyOrder != -1 || f.AllocOrder != -1 {
+		t.Fatal("orders should start at -1")
+	}
+}
+
+func TestContainsAndBase(t *testing.T) {
+	tab := NewTable(100, 50)
+	if tab.Base() != 100 {
+		t.Fatalf("Base = %d", tab.Base())
+	}
+	if tab.Contains(99) || !tab.Contains(100) || !tab.Contains(149) || tab.Contains(150) {
+		t.Fatal("Contains boundaries wrong")
+	}
+}
+
+func TestGetPanicsOutOfRange(t *testing.T) {
+	tab := NewTable(0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range PFN")
+		}
+	}()
+	tab.Get(4)
+}
+
+func TestIsFreeAndRangeFree(t *testing.T) {
+	tab := NewTable(0, 16)
+	for i := addr.PFN(0); i < 16; i++ {
+		tab.Get(i).State = Free
+	}
+	if !tab.RangeFree(0, 16) {
+		t.Fatal("all frames free, RangeFree false")
+	}
+	tab.Get(7).State = Allocated
+	if tab.IsFree(7) {
+		t.Fatal("frame 7 allocated but IsFree true")
+	}
+	if tab.RangeFree(0, 16) {
+		t.Fatal("RangeFree should see allocated frame 7")
+	}
+	if !tab.RangeFree(0, 7) || !tab.RangeFree(8, 8) {
+		t.Fatal("sub-ranges around 7 should be free")
+	}
+	// Ranges that fall off the table are not free.
+	if tab.RangeFree(10, 100) {
+		t.Fatal("out-of-range RangeFree should be false")
+	}
+	if tab.IsFree(99) {
+		t.Fatal("out-of-range IsFree should be false")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Free.String() != "free" || Allocated.String() != "allocated" || Reserved.String() != "reserved" {
+		t.Fatal("State strings wrong")
+	}
+	if State(9).String() == "" {
+		t.Fatal("unknown state should still stringify")
+	}
+}
+
+func TestCountState(t *testing.T) {
+	tab := NewTable(0, 10)
+	for i := addr.PFN(0); i < 4; i++ {
+		tab.Get(i).State = Free
+	}
+	for i := addr.PFN(4); i < 7; i++ {
+		tab.Get(i).State = Allocated
+	}
+	if tab.CountState(Free) != 4 || tab.CountState(Allocated) != 3 || tab.CountState(Reserved) != 3 {
+		t.Fatal("CountState wrong")
+	}
+}

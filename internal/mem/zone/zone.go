@@ -1,0 +1,208 @@
+// Package zone assembles the physical-memory substrate: a Machine is a
+// set of NUMA zones, each combining a buddy allocator with its own
+// contiguity map, mirroring Linux's per-node struct zone that the paper
+// extends (§III-B: "a separate contiguity_map instance is maintained per
+// NUMA node").
+package zone
+
+import (
+	"fmt"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/buddy"
+	"repro/internal/mem/contigmap"
+	"repro/internal/mem/frame"
+)
+
+// Zone is one NUMA node's memory: a PFN range, its buddy allocator, and
+// its contiguity map.
+type Zone struct {
+	ID     int
+	Base   addr.PFN
+	Pages  uint64
+	Buddy  *buddy.Buddy
+	Contig *contigmap.Map
+}
+
+// Contains reports whether pfn belongs to this zone.
+func (z *Zone) Contains(pfn addr.PFN) bool {
+	return pfn >= z.Base && uint64(pfn-z.Base) < z.Pages
+}
+
+// FreePages returns the zone's free page count.
+func (z *Zone) FreePages() uint64 { return z.Buddy.FreePages() }
+
+// Machine is the whole physical address space: a shared frame table plus
+// one or more zones. Allocation requests name a preferred zone and fall
+// back to the others in order, like Linux zonelists.
+type Machine struct {
+	Frames *frame.Table
+	Zones  []*Zone
+}
+
+// Config describes machine geometry.
+type Config struct {
+	// ZonePages is the page count of each zone (must be a multiple of
+	// the MAX_ORDER block size).
+	ZonePages []uint64
+	// SortedMaxOrder enables the CA anti-fragmentation sorted list in
+	// every zone.
+	SortedMaxOrder bool
+}
+
+// NewMachine builds a machine with consecutive zones starting at PFN 0.
+func NewMachine(cfg Config) *Machine {
+	if len(cfg.ZonePages) == 0 {
+		panic("zone: machine needs at least one zone")
+	}
+	var total uint64
+	for _, n := range cfg.ZonePages {
+		total += n
+	}
+	ft := frame.NewTable(0, total)
+	m := &Machine{Frames: ft}
+	base := addr.PFN(0)
+	for i, n := range cfg.ZonePages {
+		b := buddy.New(ft, base, n)
+		b.SetSorted(cfg.SortedMaxOrder)
+		z := &Zone{
+			ID:     i,
+			Base:   base,
+			Pages:  n,
+			Buddy:  b,
+			Contig: contigmap.New(ft, b),
+		}
+		for p := base; p < base+addr.PFN(n); p++ {
+			ft.Get(p).Zone = uint8(i)
+		}
+		m.Zones = append(m.Zones, z)
+		base += addr.PFN(n)
+	}
+	return m
+}
+
+// TotalPages returns the machine's total page count.
+func (m *Machine) TotalPages() uint64 {
+	var n uint64
+	for _, z := range m.Zones {
+		n += z.Pages
+	}
+	return n
+}
+
+// FreePages returns the machine-wide free page count.
+func (m *Machine) FreePages() uint64 {
+	var n uint64
+	for _, z := range m.Zones {
+		n += z.FreePages()
+	}
+	return n
+}
+
+// ZoneOf returns the zone owning pfn, or nil.
+func (m *Machine) ZoneOf(pfn addr.PFN) *Zone {
+	for _, z := range m.Zones {
+		if z.Contains(pfn) {
+			return z
+		}
+	}
+	return nil
+}
+
+// zonelist returns zones in allocation preference order starting from
+// the preferred zone.
+func (m *Machine) zonelist(preferred int) []*Zone {
+	if preferred < 0 || preferred >= len(m.Zones) {
+		preferred = 0
+	}
+	out := make([]*Zone, 0, len(m.Zones))
+	for i := 0; i < len(m.Zones); i++ {
+		out = append(out, m.Zones[(preferred+i)%len(m.Zones)])
+	}
+	return out
+}
+
+// AllocBlock allocates a 2^order block, preferring the given zone and
+// falling back across the zonelist.
+func (m *Machine) AllocBlock(preferred, order int) (addr.PFN, error) {
+	for _, z := range m.zonelist(preferred) {
+		if pfn, err := z.Buddy.AllocBlock(order); err == nil {
+			return pfn, nil
+		}
+	}
+	return 0, buddy.ErrNoMemory
+}
+
+// AllocBlockAt performs a targeted allocation wherever pfn lives.
+func (m *Machine) AllocBlockAt(pfn addr.PFN, order int) error {
+	z := m.ZoneOf(pfn)
+	if z == nil {
+		return buddy.ErrNotFree
+	}
+	return z.Buddy.AllocBlockAt(pfn, order)
+}
+
+// FreeBlock returns a block to its owning zone.
+func (m *Machine) FreeBlock(pfn addr.PFN, order int) {
+	z := m.ZoneOf(pfn)
+	if z == nil {
+		panic(fmt.Sprintf("zone: freeing unowned PFN %d", pfn))
+	}
+	z.Buddy.FreeBlock(pfn, order)
+}
+
+// FreeRange returns an arbitrary run to its owning zone(s).
+func (m *Machine) FreeRange(pfn addr.PFN, npages uint64) {
+	for npages > 0 {
+		z := m.ZoneOf(pfn)
+		if z == nil {
+			panic(fmt.Sprintf("zone: freeing unowned PFN %d", pfn))
+		}
+		n := npages
+		if end := uint64(z.Base) + z.Pages; uint64(pfn)+n > end {
+			n = end - uint64(pfn)
+		}
+		z.Buddy.FreeRange(pfn, n)
+		pfn += addr.PFN(n)
+		npages -= n
+	}
+}
+
+// Reserve pins an arbitrary free run (hog / firmware holes).
+func (m *Machine) Reserve(pfn addr.PFN, npages uint64) error {
+	z := m.ZoneOf(pfn)
+	if z == nil {
+		return buddy.ErrNotFree
+	}
+	return z.Buddy.Reserve(pfn, npages)
+}
+
+// FindFit runs next-fit placement over the preferred zone's contiguity
+// map, falling back across the zonelist when a zone's map is empty.
+// It returns the zone chosen along with the placement.
+func (m *Machine) FindFit(preferred int, pages uint64) (z *Zone, start addr.PFN, avail uint64, ok bool) {
+	for _, cand := range m.zonelist(preferred) {
+		if s, a, found := cand.Contig.FindFit(pages); found {
+			return cand, s, a, true
+		}
+	}
+	return nil, 0, 0, false
+}
+
+// FreeBlockHistogram buckets the machine's free contiguity by size: the
+// contiguity maps provide the >= MAX_ORDER unaligned clusters, and the
+// buddy free lists provide the sub-MAX_ORDER blocks. Keys are sizes in
+// pages (clusters use their exact page size; buddy blocks use
+// 2^order). Used for the paper's Fig. 9.
+func (m *Machine) FreeBlockHistogram() map[uint64]uint64 {
+	h := make(map[uint64]uint64)
+	for _, z := range m.Zones {
+		z.Contig.Visit(func(c *contigmap.Cluster) { h[c.Pages()]++ })
+		for o := 0; o < addr.MaxOrder; o++ {
+			if n := z.Buddy.FreeBlocks(o); n > 0 {
+				h[addr.OrderPages(o)] += n
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,161 @@
+package zone
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/buddy"
+)
+
+func twoZone(t testing.TB) *Machine {
+	t.Helper()
+	return NewMachine(Config{ZonePages: []uint64{4 * addr.MaxOrderPages, 4 * addr.MaxOrderPages}})
+}
+
+func TestMachineGeometry(t *testing.T) {
+	m := twoZone(t)
+	if len(m.Zones) != 2 {
+		t.Fatalf("zones = %d", len(m.Zones))
+	}
+	if m.TotalPages() != 8*addr.MaxOrderPages {
+		t.Fatalf("TotalPages = %d", m.TotalPages())
+	}
+	if m.FreePages() != m.TotalPages() {
+		t.Fatal("fresh machine should be fully free")
+	}
+	if m.Zones[1].Base != 4*addr.MaxOrderPages {
+		t.Fatalf("zone1 base = %d", m.Zones[1].Base)
+	}
+	if z := m.ZoneOf(4*addr.MaxOrderPages - 1); z.ID != 0 {
+		t.Fatal("boundary frame should be zone 0")
+	}
+	if z := m.ZoneOf(4 * addr.MaxOrderPages); z.ID != 1 {
+		t.Fatal("boundary frame should be zone 1")
+	}
+	if m.ZoneOf(addr.PFN(1<<40)) != nil {
+		t.Fatal("out-of-range PFN should map to nil zone")
+	}
+	// Frame zone tags.
+	if m.Frames.Get(0).Zone != 0 || m.Frames.Get(5*addr.MaxOrderPages).Zone != 1 {
+		t.Fatal("frame zone tags wrong")
+	}
+}
+
+func TestZonePreferenceAndFallback(t *testing.T) {
+	m := twoZone(t)
+	// Exhaust zone 0.
+	for {
+		if _, err := m.Zones[0].Buddy.AllocBlock(addr.MaxOrder); err != nil {
+			break
+		}
+	}
+	// Preferring zone 0 must fall back to zone 1.
+	pfn, err := m.AllocBlock(0, addr.MaxOrder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Zones[1].Contains(pfn) {
+		t.Fatalf("fallback allocation landed at %d, not zone 1", pfn)
+	}
+}
+
+func TestMachineExhaustion(t *testing.T) {
+	m := NewMachine(Config{ZonePages: []uint64{addr.MaxOrderPages}})
+	if _, err := m.AllocBlock(0, addr.MaxOrder); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllocBlock(0, 0); err != buddy.ErrNoMemory {
+		t.Fatalf("want ErrNoMemory, got %v", err)
+	}
+}
+
+func TestTargetedAllocRouting(t *testing.T) {
+	m := twoZone(t)
+	target := addr.PFN(5*addr.MaxOrderPages + 17) // zone 1 interior
+	if err := m.AllocBlockAt(target, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Zones[1].FreePages() != 4*addr.MaxOrderPages-1 {
+		t.Fatal("zone 1 free count wrong")
+	}
+	m.FreeBlock(target, 0)
+	if m.Zones[1].FreePages() != 4*addr.MaxOrderPages {
+		t.Fatal("free did not return to zone 1")
+	}
+	if err := m.AllocBlockAt(addr.PFN(1<<40), 0); err != buddy.ErrNotFree {
+		t.Fatalf("out-of-range targeted alloc: %v", err)
+	}
+}
+
+func TestFreeRangeAcrossZones(t *testing.T) {
+	m := twoZone(t)
+	// Reserve a run straddling the zone boundary... Reserve is per-zone,
+	// so reserve each side, then FreeRange across the boundary.
+	boundary := addr.PFN(4 * addr.MaxOrderPages)
+	if err := m.Reserve(boundary-100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Reserve(boundary, 100); err != nil {
+		t.Fatal(err)
+	}
+	m.FreeRange(boundary-100, 200)
+	if m.FreePages() != m.TotalPages() {
+		t.Fatalf("free pages = %d after cross-zone FreeRange", m.FreePages())
+	}
+}
+
+func TestFindFitFallsBackAcrossZones(t *testing.T) {
+	m := twoZone(t)
+	// Exhaust zone 0 completely so its contiguity map is empty.
+	for {
+		if _, err := m.Zones[0].Buddy.AllocBlock(0); err != nil {
+			break
+		}
+	}
+	z, start, avail, ok := m.FindFit(0, addr.MaxOrderPages)
+	if !ok || z.ID != 1 {
+		t.Fatalf("FindFit fell back to zone %v ok=%v", z, ok)
+	}
+	if start != z.Base || avail != 4*addr.MaxOrderPages {
+		t.Fatalf("placement = (%d, %d)", start, avail)
+	}
+}
+
+func TestFreeBlockHistogram(t *testing.T) {
+	m := NewMachine(Config{ZonePages: []uint64{4 * addr.MaxOrderPages}})
+	h := m.FreeBlockHistogram()
+	if h[4*addr.MaxOrderPages] != 1 {
+		t.Fatalf("fresh machine histogram = %v", h)
+	}
+	// Allocate one 4K page: cluster shrinks, sub-MAX_ORDER blocks appear.
+	if _, err := m.AllocBlock(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	h = m.FreeBlockHistogram()
+	if h[3*addr.MaxOrderPages] != 1 {
+		t.Fatalf("histogram after 4K alloc = %v", h)
+	}
+	var small uint64
+	for size, n := range h {
+		if size < addr.MaxOrderPages {
+			small += size * n
+		}
+	}
+	if small != addr.MaxOrderPages-1 {
+		t.Fatalf("small free pages = %d, want %d", small, addr.MaxOrderPages-1)
+	}
+}
+
+func TestSortedMaxOrderConfig(t *testing.T) {
+	m := NewMachine(Config{ZonePages: []uint64{2 * addr.MaxOrderPages}, SortedMaxOrder: true})
+	if !m.Zones[0].Buddy.Sorted() {
+		t.Fatal("sorted flag not applied")
+	}
+	pfn, err := m.AllocBlock(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfn != 0 {
+		t.Fatalf("sorted machine first alloc at %d, want 0", pfn)
+	}
+}

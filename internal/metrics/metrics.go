@@ -1,0 +1,204 @@
+// Package metrics computes the contiguity statistics the paper's
+// evaluation reports: memory-footprint coverage by the N largest
+// contiguous mappings (Figs. 1, 7, 8, 10, 12), the number of mappings
+// needed to cover 99 % of the footprint, free-block distributions
+// (Fig. 9), percentile latencies (Table V), and bloat (Table VI).
+//
+// A "mapping" here is the paper's Fig. 1a object: a maximal extent of
+// virtual pages mapped to consecutive physical pages — independent of
+// the page size backing it.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mem/addr"
+	"repro/internal/osim/pagetable"
+)
+
+// Mapping is one contiguous virtual-to-physical extent.
+type Mapping struct {
+	VA    addr.VirtAddr
+	PA    addr.PhysAddr
+	Pages uint64
+}
+
+// End returns one past the mapping's last virtual byte.
+func (m Mapping) End() addr.VirtAddr { return m.VA.Add(m.Pages * addr.PageSize) }
+
+// Offset returns the mapping's translation offset.
+func (m Mapping) Offset() addr.Offset { return addr.OffsetOf(m.VA, m.PA) }
+
+// FromPageTable extracts maximal contiguous mappings from a page table
+// (the pagemap-based method the paper uses natively).
+func FromPageTable(pt *pagetable.Table) []Mapping {
+	var out []Mapping
+	var cur Mapping
+	pt.Visit(func(l pagetable.Leaf) {
+		pa := l.PTE.PFN.Addr()
+		if cur.Pages > 0 && l.VA == cur.End() && pa == cur.PA+addr.PhysAddr(cur.Pages*addr.PageSize) {
+			cur.Pages += l.Pages
+			return
+		}
+		if cur.Pages > 0 {
+			out = append(out, cur)
+		}
+		cur = Mapping{VA: l.VA, PA: pa, Pages: l.Pages}
+	})
+	if cur.Pages > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// SortBySize orders mappings by size, largest first (stable on VA).
+func SortBySize(ms []Mapping) {
+	sort.SliceStable(ms, func(i, j int) bool { return ms[i].Pages > ms[j].Pages })
+}
+
+// TotalPages sums mapping sizes.
+func TotalPages(ms []Mapping) uint64 {
+	var n uint64
+	for _, m := range ms {
+		n += m.Pages
+	}
+	return n
+}
+
+// CoverageTopN returns the fraction (0..1) of the total mapped
+// footprint covered by the N largest mappings.
+func CoverageTopN(ms []Mapping, n int) float64 {
+	total := TotalPages(ms)
+	if total == 0 {
+		return 0
+	}
+	sorted := append([]Mapping(nil), ms...)
+	SortBySize(sorted)
+	var covered uint64
+	for i := 0; i < n && i < len(sorted); i++ {
+		covered += sorted[i].Pages
+	}
+	return float64(covered) / float64(total)
+}
+
+// MappingsFor covers returns the number of largest-first mappings
+// needed to reach the given coverage fraction of the footprint (the
+// paper's "number of mappings to cover 99 %").
+func MappingsFor(ms []Mapping, coverage float64) int {
+	total := TotalPages(ms)
+	if total == 0 {
+		return 0
+	}
+	sorted := append([]Mapping(nil), ms...)
+	SortBySize(sorted)
+	target := uint64(coverage * float64(total))
+	var covered uint64
+	for i, m := range sorted {
+		covered += m.Pages
+		if covered >= target {
+			return i + 1
+		}
+	}
+	return len(sorted)
+}
+
+// Percentile returns the p-quantile (0..1) of xs using nearest-rank on
+// a sorted copy. Returns 0 for empty input.
+func Percentile(xs []uint64, p float64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]uint64(nil), xs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(p*float64(len(sorted))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty).
+func Mean(xs []uint64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs (0 for empty; zeros clamp
+// to 1 to stay defined, as the paper's geomeans do for counts).
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		if x < 1 {
+			x = 1
+		}
+		prod *= x
+	}
+	// n-th root via successive halving-free math: use math.Pow.
+	return pow(prod, 1/float64(len(xs)))
+}
+
+// GeoMeanFrac is GeoMean for fractions in (0,1]: zeros clamp to a tiny
+// epsilon instead of 1.
+func GeoMeanFrac(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, x := range xs {
+		if x < 1e-9 {
+			x = 1e-9
+		}
+		prod *= x
+	}
+	return pow(prod, 1/float64(len(xs)))
+}
+
+// pow is math.Pow; indirected for clarity of intent above.
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// SizeBuckets buckets a free-block histogram (pages -> count) into the
+// paper's Fig. 9 size classes, returning the fraction of total free
+// memory per class. Classes: <=2MiB, <=64MiB, <=1GiB, >1GiB.
+func SizeBuckets(hist map[uint64]uint64) (frac [4]float64) {
+	bounds := [3]uint64{
+		addr.HugeSize / addr.PageSize, // 2 MiB
+		64 << 20 / addr.PageSize,      // 64 MiB
+		1 << 30 / addr.PageSize,       // 1 GiB
+	}
+	var per [4]uint64
+	var total uint64
+	for size, count := range hist {
+		pages := size * count
+		total += pages
+		switch {
+		case size <= bounds[0]:
+			per[0] += pages
+		case size <= bounds[1]:
+			per[1] += pages
+		case size <= bounds[2]:
+			per[2] += pages
+		default:
+			per[3] += pages
+		}
+	}
+	if total == 0 {
+		return
+	}
+	for i := range per {
+		frac[i] = float64(per[i]) / float64(total)
+	}
+	return
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem/addr"
+	"repro/internal/osim/pagetable"
+)
+
+func mk(va, pa, pages uint64) Mapping {
+	return Mapping{VA: addr.VirtAddr(va) << addr.PageShift, PA: addr.PhysAddr(pa) << addr.PageShift, Pages: pages}
+}
+
+func TestFromPageTableMergesRuns(t *testing.T) {
+	pt := pagetable.New()
+	// Three 4K pages contiguous both ways, then a gap, then a huge page
+	// physically continuing a 4K page.
+	pt.Map4K(0x1000, 10, 0)
+	pt.Map4K(0x2000, 11, 0)
+	pt.Map4K(0x3000, 12, 0)
+	pt.Map4K(0x9000, 50, 0)
+	base := addr.VirtAddr(8 * addr.HugeSize)
+	pt.Map4K(base-addr.PageSize, 1023, 0) // just below huge, physically adjacent
+	pt.Map2M(base, 1024, 0)
+	ms := FromPageTable(pt)
+	if len(ms) != 3 {
+		t.Fatalf("mappings = %d (%+v), want 3", len(ms), ms)
+	}
+	if ms[0].Pages != 3 || ms[1].Pages != 1 {
+		t.Fatalf("run sizes = %d,%d", ms[0].Pages, ms[1].Pages)
+	}
+	// 4K + huge merged: 513 pages.
+	if ms[2].Pages != 513 {
+		t.Fatalf("merged run = %d pages, want 513", ms[2].Pages)
+	}
+}
+
+func TestFromPageTableVirtualGapBreaksRun(t *testing.T) {
+	pt := pagetable.New()
+	pt.Map4K(0x1000, 10, 0)
+	pt.Map4K(0x3000, 11, 0) // physically adjacent but VA gap
+	ms := FromPageTable(pt)
+	if len(ms) != 2 {
+		t.Fatalf("mappings = %d, want 2", len(ms))
+	}
+}
+
+func TestCoverageTopN(t *testing.T) {
+	ms := []Mapping{mk(0, 0, 100), mk(1000, 500, 50), mk(2000, 900, 25), mk(3000, 1500, 25)}
+	if got := CoverageTopN(ms, 1); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("top1 = %f", got)
+	}
+	if got := CoverageTopN(ms, 2); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("top2 = %f", got)
+	}
+	if got := CoverageTopN(ms, 10); got != 1 {
+		t.Fatalf("topAll = %f", got)
+	}
+	if CoverageTopN(nil, 32) != 0 {
+		t.Fatal("empty coverage should be 0")
+	}
+}
+
+func TestMappingsFor(t *testing.T) {
+	ms := []Mapping{mk(0, 0, 98), mk(1000, 500, 1), mk(2000, 900, 1)}
+	if got := MappingsFor(ms, 0.98); got != 1 {
+		t.Fatalf("98%% needs %d", got)
+	}
+	if got := MappingsFor(ms, 0.99); got != 2 {
+		t.Fatalf("99%% needs %d", got)
+	}
+	if got := MappingsFor(ms, 1.0); got != 3 {
+		t.Fatalf("100%% needs %d", got)
+	}
+	if MappingsFor(nil, 0.99) != 0 {
+		t.Fatal("empty should need 0")
+	}
+}
+
+func TestCoverageMonotoneProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		var ms []Mapping
+		va := uint64(0)
+		for _, s := range sizes {
+			if s == 0 {
+				continue
+			}
+			ms = append(ms, mk(va, va+1e6, uint64(s)))
+			va += uint64(s) + 1
+		}
+		// Coverage is monotone in N and hits 1 at len(ms).
+		prev := 0.0
+		for n := 1; n <= len(ms); n++ {
+			c := CoverageTopN(ms, n)
+			if c+1e-12 < prev {
+				return false
+			}
+			prev = c
+		}
+		return len(ms) == 0 || math.Abs(CoverageTopN(ms, len(ms))-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []uint64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	if got := Percentile(xs, 0.5); got != 50 {
+		t.Fatalf("p50 = %d", got)
+	}
+	if got := Percentile(xs, 0.99); got != 100 {
+		t.Fatalf("p99 = %d", got)
+	}
+	if got := Percentile(xs, 0.1); got != 10 {
+		t.Fatalf("p10 = %d", got)
+	}
+	if Percentile(nil, 0.99) != 0 {
+		t.Fatal("empty percentile")
+	}
+	if got := Percentile([]uint64{42}, 0.99); got != 42 {
+		t.Fatalf("single = %d", got)
+	}
+}
+
+func TestMeanGeoMean(t *testing.T) {
+	if got := Mean([]uint64{2, 4, 6}); got != 4 {
+		t.Fatalf("mean = %f", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("geomean = %f", got)
+	}
+	if got := GeoMeanFrac([]float64{0.25, 1}); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("geomean frac = %f", got)
+	}
+	if GeoMean(nil) != 0 || GeoMeanFrac(nil) != 0 {
+		t.Fatal("empty geomeans")
+	}
+}
+
+func TestSizeBuckets(t *testing.T) {
+	hist := map[uint64]uint64{
+		512:        1, // 2 MiB -> bucket 0
+		16384:      1, // 64 MiB -> bucket 1
+		262144:     1, // 1 GiB -> bucket 2
+		262144 + 1: 1, // just over 1 GiB -> bucket 3
+	}
+	frac := SizeBuckets(hist)
+	var sum float64
+	for _, f := range frac {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %f", sum)
+	}
+	if frac[3] < frac[0] {
+		t.Fatal("the >1GiB bucket holds the most pages here")
+	}
+	empty := SizeBuckets(nil)
+	if empty != [4]float64{} {
+		t.Fatal("empty histogram should be all zeros")
+	}
+}
+
+func TestMappingAccessors(t *testing.T) {
+	m := mk(100, 200, 5)
+	if m.End() != m.VA.Add(5*addr.PageSize) {
+		t.Fatal("End wrong")
+	}
+	if m.Offset().Target(m.VA) != m.PA {
+		t.Fatal("Offset roundtrip wrong")
+	}
+}

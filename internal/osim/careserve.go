@@ -1,0 +1,71 @@
+package osim
+
+import (
+	"sync"
+
+	"repro/internal/mem/addr"
+	"repro/internal/osim/vma"
+)
+
+// CAReservation is the optional reservation extension CA paging's
+// discussion proposes for severe contention (§III-D): placement
+// decisions soft-reserve their chosen region so concurrent placements
+// by other VMAs skip it instead of landing inside. Reservations are
+// advisory — nothing is allocated up front, so demand paging and memory
+// utilisation are unchanged; a bounded FIFO keeps stale entries from
+// pinning the placement search forever.
+type CAReservation struct {
+	mu    sync.Mutex
+	spans []caSoftSpan
+	// Cap bounds the tracked reservations (default 64).
+	Cap int
+}
+
+type caSoftSpan struct {
+	owner *vma.VMA
+	start addr.PFN
+	pages uint64
+}
+
+// NewCAReservation creates empty reservation state shared by one
+// kernel's CA policy.
+func NewCAReservation() *CAReservation { return &CAReservation{Cap: 64} }
+
+// conflicts reports whether [start, start+pages) overlaps a region
+// reserved by a different VMA.
+func (r *CAReservation) conflicts(owner *vma.VMA, start addr.PFN, pages uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	end := start + addr.PFN(pages)
+	for _, s := range r.spans {
+		if s.owner == owner {
+			continue
+		}
+		sEnd := s.start + addr.PFN(s.pages)
+		if start < sEnd && s.start < end {
+			return true
+		}
+	}
+	return false
+}
+
+// reserve records a placement's chosen region.
+func (r *CAReservation) reserve(owner *vma.VMA, start addr.PFN, pages uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cap := r.Cap
+	if cap == 0 {
+		cap = 64
+	}
+	if len(r.spans) == cap {
+		copy(r.spans, r.spans[1:])
+		r.spans = r.spans[:cap-1]
+	}
+	r.spans = append(r.spans, caSoftSpan{owner: owner, start: start, pages: pages})
+}
+
+// NewCAPolicyWithReservation builds CA paging with the reservation
+// extension enabled.
+func NewCAPolicyWithReservation() CAPolicy {
+	return CAPolicy{Reservation: NewCAReservation()}
+}

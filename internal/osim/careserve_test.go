@@ -1,0 +1,109 @@
+package osim
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+// TestReservationFixesStrictAlternation exercises CA paging's worst
+// case: two processes faulting strictly alternately, one huge page at a
+// time, into one big free cluster. Best-effort CA leapfrogs (each
+// re-placement lands just past the other's frontier); with the §III-D
+// reservation extension each VMA's first placement claims its whole
+// extent and the footprints stay disjoint.
+func TestReservationFixesStrictAlternation(t *testing.T) {
+	run := func(policy Placement) (int, int) {
+		k := newKernel(t, 64, policy)
+		pa, pb := k.NewProcess(0), k.NewProcess(0)
+		va, _ := pa.MMap(16 * addr.HugeSize)
+		vb, _ := pb.MMap(16 * addr.HugeSize)
+		for off := uint64(0); off < va.Size(); off += addr.HugeSize {
+			if _, err := pa.Touch(va.Start.Add(off), true); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := pb.Touch(vb.Start.Add(off), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return len(contiguousRuns(pa)), len(contiguousRuns(pb))
+	}
+	resA, resB := run(NewCAPolicyWithReservation())
+	if resA != 1 || resB != 1 {
+		t.Fatalf("reservation runs = %d/%d, want 1/1", resA, resB)
+	}
+	plainA, _ := run(CAPolicy{})
+	if plainA < resA {
+		t.Fatalf("plain CA (%d runs) should not beat reservation (%d)", plainA, resA)
+	}
+}
+
+func TestReservationConflictDetection(t *testing.T) {
+	r := NewCAReservation()
+	k := newKernel(t, 16, CAPolicy{})
+	p := k.NewProcess(0)
+	v1, _ := p.MMap(addr.PageSize)
+	v2, _ := p.MMap(addr.PageSize)
+	r.reserve(v1, 1000, 100)
+	// Own reservations never conflict.
+	if r.conflicts(v1, 1000, 100) {
+		t.Fatal("self-conflict")
+	}
+	// Overlap with another owner conflicts, in both directions.
+	if !r.conflicts(v2, 1050, 10) {
+		t.Fatal("interior overlap missed")
+	}
+	if !r.conflicts(v2, 950, 100) {
+		t.Fatal("left overlap missed")
+	}
+	if r.conflicts(v2, 1100, 50) {
+		t.Fatal("adjacent (non-overlapping) span flagged")
+	}
+	if r.conflicts(v2, 0, 1000) {
+		t.Fatal("disjoint span flagged")
+	}
+}
+
+func TestReservationFIFOBound(t *testing.T) {
+	r := NewCAReservation()
+	r.Cap = 4
+	k := newKernel(t, 16, CAPolicy{})
+	p := k.NewProcess(0)
+	owner, _ := p.MMap(addr.PageSize)
+	other, _ := p.MMap(addr.PageSize)
+	for i := 0; i < 10; i++ {
+		r.reserve(owner, addr.PFN(i*1000), 100)
+	}
+	if len(r.spans) != 4 {
+		t.Fatalf("spans = %d, want capped at 4", len(r.spans))
+	}
+	// The oldest reservations were evicted.
+	if r.conflicts(other, 0, 100) {
+		t.Fatal("evicted reservation still conflicts")
+	}
+	if !r.conflicts(other, 9000, 10) {
+		t.Fatal("latest reservation lost")
+	}
+}
+
+func TestFiveLevelPageTables(t *testing.T) {
+	k := newKernel(t, 16, CAPolicy{})
+	k.PageTableLevels = 5
+	p := k.NewProcess(0)
+	if p.PT.Levels() != 5 {
+		t.Fatalf("levels = %d", p.PT.Levels())
+	}
+	v, _ := p.MMap(2 * addr.HugeSize)
+	touchRange(t, p, v.Start, v.Size(), addr.PageSize)
+	// Walks take one extra step at every depth.
+	_, level, steps, ok := p.PT.Walk(v.Start)
+	if !ok || level != 1 || steps != 4 {
+		t.Fatalf("5-level huge walk = (level %d, steps %d, ok %v), want 4 steps", level, steps, ok)
+	}
+	// Translation correctness is unchanged.
+	pa1, _ := p.Translate(v.Start)
+	pa2, _ := p.Translate(v.Start.Add(addr.PageSize))
+	if pa2 != pa1+addr.PageSize {
+		t.Fatal("5-level translation broken")
+	}
+}

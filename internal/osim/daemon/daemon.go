@@ -1,0 +1,290 @@
+// Package daemon implements the two asynchronous memory-management
+// daemons the paper compares CA paging against:
+//
+//   - Ingens (Kwon et al., OSDI'16): utilisation-gated transparent huge
+//     page promotion. The fault path maps 4 KiB pages only; a periodic
+//     scan promotes huge-aligned regions whose utilisation crosses a
+//     threshold, trading promotion latency for lower memory bloat.
+//
+//   - Translation Ranger (Yan et al., ISCA'19): contiguity-generating
+//     defragmentation. A periodic scan migrates a bounded number of
+//     pages per epoch toward per-VMA anchor regions, coalescing a
+//     footprint *after* allocation — effective, but delayed, and each
+//     migration costs copies and TLB shootdowns (Fig. 1c, Fig. 11).
+//
+// Both run on the kernel's logical clock: Maybe() fires when at least
+// Period nanoseconds have elapsed since the previous epoch.
+package daemon
+
+import (
+	"sort"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/contigmap"
+	"repro/internal/osim"
+	"repro/internal/osim/pagetable"
+	"repro/internal/osim/vma"
+)
+
+// Ingens is the asynchronous huge-page promotion daemon.
+type Ingens struct {
+	Kernel *osim.Kernel
+	// Period is the scan interval in logical nanoseconds.
+	Period uint64
+	// UtilThreshold is the fraction (0..1] of touched pages a 2 MiB
+	// region needs before promotion (paper default 0.9).
+	UtilThreshold float64
+
+	lastRun uint64
+}
+
+// NewIngens creates the daemon with the defaults used in evaluation and
+// disables synchronous THP on the kernel: under Ingens the fault path
+// allocates base pages only.
+func NewIngens(k *osim.Kernel) *Ingens {
+	k.THPEnabled = false
+	return &Ingens{Kernel: k, Period: 2_000_000, UtilThreshold: 0.9}
+}
+
+// Maybe runs a scan epoch if the period elapsed.
+func (d *Ingens) Maybe() {
+	if d.Kernel.Clock-d.lastRun < d.Period {
+		return
+	}
+	d.lastRun = d.Kernel.Clock
+	d.Scan()
+}
+
+// Scan promotes every eligible huge region of every process.
+func (d *Ingens) Scan() {
+	for _, p := range d.Kernel.Processes() {
+		p.VMAs.Visit(func(v *vma.VMA) {
+			if v.Kind != vma.Anonymous {
+				return
+			}
+			d.scanVMA(p, v)
+		})
+	}
+}
+
+func (d *Ingens) scanVMA(p *osim.Process, v *vma.VMA) {
+	k := d.Kernel
+	start := v.Start.HugeUp()
+	for base := start; base.Add(addr.HugeSize) <= v.End; base = base.Add(addr.HugeSize) {
+		pageIdx := uint64(base-v.Start) / addr.PageSize
+		util := float64(v.RegionTouched(pageIdx, 512)) / 512
+		if util < d.UtilThreshold {
+			continue
+		}
+		// Already huge?
+		if _, pages, ok := p.PT.Lookup(base); ok && pages == 512 {
+			continue
+		}
+		// Fully 4K-mapped? Promotion needs every page present.
+		if !regionFullyMapped(p.PT, base) {
+			continue
+		}
+		d.promote(p, v, base)
+		_ = k
+	}
+}
+
+// regionFullyMapped reports whether every base page of the 2 MiB region
+// is mapped 4K.
+func regionFullyMapped(pt *pagetable.Table, base addr.VirtAddr) bool {
+	for off := uint64(0); off < addr.HugeSize; off += addr.PageSize {
+		if _, pages, ok := pt.Lookup(base.Add(off)); !ok || pages != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// promote replaces 512 base mappings with one huge mapping, copying
+// into a freshly allocated huge block.
+func (d *Ingens) promote(p *osim.Process, v *vma.VMA, base addr.VirtAddr) {
+	k := d.Kernel
+	dst, err := k.Machine.AllocBlock(p.HomeZone, addr.HugeOrder)
+	if err != nil {
+		return // no huge block available; skip
+	}
+	for off := uint64(0); off < addr.HugeSize; off += addr.PageSize {
+		va := base.Add(off)
+		pte, _, _ := p.PT.Unmap(va)
+		f := k.Machine.Frames.Get(pte.PFN)
+		f.MapCount--
+		if f.MapCount <= 0 {
+			k.Machine.FreeBlock(pte.PFN, 0)
+		}
+	}
+	p.PT.Map2M(base, dst, pagetable.Writable)
+	k.Machine.Frames.Get(dst).MapCount++
+	k.Stats.Promotions++
+	k.Stats.Migrations += 512
+	k.Stats.Shootdowns++
+	k.Tick(512*osim.CopyPageNs + osim.ShootdownNs)
+}
+
+// Ranger is the Translation Ranger defragmentation daemon.
+type Ranger struct {
+	Kernel *osim.Kernel
+	// Period is the defragmentation epoch in logical nanoseconds.
+	Period uint64
+	// PagesPerEpoch bounds migration work per epoch (rate limiting).
+	PagesPerEpoch uint64
+
+	lastRun uint64
+	// plans holds the per-VMA defragmentation plan chosen on first
+	// scan: the VMA is carved into segments assigned to the largest
+	// free clusters (largest-first), and pages migrate toward their
+	// segment targets across epochs.
+	plans map[*vma.VMA][]rangerSegment
+}
+
+// rangerSegment maps VMA pages [startPage, startPage+pages) to the
+// physical run starting at target.
+type rangerSegment struct {
+	startPage uint64
+	pages     uint64
+	target    addr.PFN
+}
+
+// NewRanger creates the daemon with evaluation defaults.
+func NewRanger(k *osim.Kernel) *Ranger {
+	return &Ranger{
+		Kernel:        k,
+		Period:        2_000_000,
+		PagesPerEpoch: 512, // one huge page per epoch — migration is not free
+		plans:         make(map[*vma.VMA][]rangerSegment),
+	}
+}
+
+// Maybe runs a defragmentation epoch if the period elapsed.
+func (d *Ranger) Maybe() {
+	if d.Kernel.Clock-d.lastRun < d.Period {
+		return
+	}
+	d.lastRun = d.Kernel.Clock
+	d.Epoch()
+}
+
+// Epoch scans all processes and migrates up to PagesPerEpoch pages
+// toward their anchors. Multi-programmed scans are serial — the
+// behaviour the paper calls out as penalising Ranger's response time
+// (Fig. 10).
+func (d *Ranger) Epoch() {
+	budget := d.PagesPerEpoch
+	for _, p := range d.Kernel.Processes() {
+		if budget == 0 {
+			return
+		}
+		p.VMAs.Visit(func(v *vma.VMA) {
+			if v.Kind != vma.Anonymous || budget == 0 {
+				return
+			}
+			budget = d.defragVMA(p, v, budget)
+		})
+	}
+}
+
+// defragVMA migrates the VMA's mapped leaves toward its plan segments,
+// returning the remaining budget.
+func (d *Ranger) defragVMA(p *osim.Process, v *vma.VMA, budget uint64) uint64 {
+	k := d.Kernel
+	plan, ok := d.plans[v]
+	if !ok {
+		plan = d.choosePlan(p, v)
+		d.plans[v] = plan
+	}
+	if len(plan) == 0 {
+		return budget
+	}
+	type leafInfo struct {
+		va    addr.VirtAddr
+		pfn   addr.PFN
+		pages uint64
+	}
+	var leaves []leafInfo
+	p.PT.Visit(func(l pagetable.Leaf) {
+		if l.VA >= v.Start && l.VA < v.End {
+			leaves = append(leaves, leafInfo{l.VA, l.PTE.PFN, l.Pages})
+		}
+	})
+	for _, l := range leaves {
+		if budget < l.pages {
+			return 0
+		}
+		page := uint64(l.va-v.Start) / addr.PageSize
+		want, covered := planTarget(plan, page)
+		if !covered || l.pfn == want {
+			continue // unplanned tail or already in place
+		}
+		order := 0
+		if l.pages == 512 {
+			order = addr.HugeOrder
+		}
+		// The target slot must be free; Ranger iterates, so slots
+		// occupied by other pages of this VMA resolve in later epochs
+		// once those migrate away. (Real Ranger exchanges pages; the
+		// iterative converge-over-epochs behaviour is the same.)
+		if err := k.Machine.AllocBlockAt(want, order); err != nil {
+			continue
+		}
+		if !k.MigratePage(p, l.va, want) {
+			k.Machine.FreeBlock(want, order)
+			continue
+		}
+		budget -= l.pages
+	}
+	return budget
+}
+
+// planTarget resolves the planned frame for a VMA page.
+func planTarget(plan []rangerSegment, page uint64) (addr.PFN, bool) {
+	for _, s := range plan {
+		if page >= s.startPage && page < s.startPage+s.pages {
+			return s.target + addr.PFN(page-s.startPage), true
+		}
+	}
+	return 0, false
+}
+
+// choosePlan assigns the VMA's pages to the largest free clusters,
+// largest first — Ranger packs the footprint as tightly as free
+// contiguity allows, which is why it leads the 32-mapping coverage
+// under memory pressure (§VI-A).
+func (d *Ranger) choosePlan(p *osim.Process, v *vma.VMA) []rangerSegment {
+	type free struct {
+		start addr.PFN
+		pages uint64
+	}
+	var clusters []free
+	for _, z := range d.Kernel.Machine.Zones {
+		z.Contig.Visit(func(c *contigmap.Cluster) {
+			clusters = append(clusters, free{c.Start, c.Pages()})
+		})
+	}
+	sort.Slice(clusters, func(i, j int) bool { return clusters[i].pages > clusters[j].pages })
+	var plan []rangerSegment
+	page := uint64(0)
+	remaining := v.Pages()
+	for _, c := range clusters {
+		if remaining == 0 {
+			break
+		}
+		take := c.pages
+		if take > remaining {
+			take = remaining
+		}
+		plan = append(plan, rangerSegment{startPage: page, pages: take, target: c.start})
+		page += take
+		remaining -= take
+	}
+	if len(plan) == 0 {
+		// No free clusters: leave the footprint where it is.
+		if pa, ok := p.Translate(v.Start); ok {
+			plan = append(plan, rangerSegment{startPage: 0, pages: v.Pages(), target: pa.Frame()})
+		}
+	}
+	return plan
+}

@@ -1,0 +1,261 @@
+package osim
+
+import (
+	"repro/internal/mem/addr"
+	"repro/internal/osim/pagetable"
+	"repro/internal/osim/vma"
+)
+
+// Touch simulates an access to va, faulting in memory on demand. It is
+// the entry point workloads drive: it marks the touched-page bitmap,
+// resolves copy-on-write on writes, and otherwise dispatches to the
+// demand-paging fault path. It reports whether a fault was taken.
+func (p *Process) Touch(va addr.VirtAddr, write bool) (bool, error) {
+	v := p.VMAs.Find(va)
+	if v == nil {
+		return false, ErrSegfault
+	}
+	v.MarkTouched(uint64(va-v.Start) / addr.PageSize)
+	pte, _, ok := p.PT.Lookup(va)
+	if ok {
+		if write && pte.Flags.Has(pagetable.CoW) {
+			return true, p.kernel.cowFault(p, v, va)
+		}
+		pte.Flags |= pagetable.Accessed
+		if write {
+			pte.Flags |= pagetable.Dirty
+		}
+		return false, nil
+	}
+	return true, p.kernel.demandFault(p, v, va, write)
+}
+
+// Translate resolves va through the process page table (no fault).
+func (p *Process) Translate(va addr.VirtAddr) (addr.PhysAddr, bool) {
+	return p.PT.Translate(va)
+}
+
+// demandFault handles a not-present fault: anonymous (4K or THP) or
+// file-backed through the page cache.
+func (k *Kernel) demandFault(p *Process, v *vma.VMA, va addr.VirtAddr, write bool) error {
+	if v.Kind == vma.FileBacked {
+		return k.fileFault(p, v, va)
+	}
+	// THP decision: use a 2 MiB fault when the aligned huge region lies
+	// fully inside the VMA and nothing is mapped there yet.
+	if k.THPEnabled && k.canMapHuge(p, v, va) {
+		return k.anonFault(p, v, va.HugeDown(), addr.HugeOrder, write)
+	}
+	return k.anonFault(p, v, va.PageDown(), 0, write)
+}
+
+// canMapHuge reports whether the huge-aligned region around va can take
+// a 2 MiB mapping: fully inside the VMA and currently empty.
+func (k *Kernel) canMapHuge(p *Process, v *vma.VMA, va addr.VirtAddr) bool {
+	base := va.HugeDown()
+	if base < v.Start || base.Add(addr.HugeSize) > v.End {
+		return false
+	}
+	// Probe the region for existing 4K leaves. The common case — first
+	// touch of an untouched region — exits on the first probe.
+	for off := uint64(0); off < addr.HugeSize; off += addr.PageSize {
+		if _, _, ok := p.PT.Lookup(base.Add(off)); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// anonFault allocates and maps one block of the given order at va.
+func (k *Kernel) anonFault(p *Process, v *vma.VMA, va addr.VirtAddr, order int, write bool) error {
+	pfn, placed, err := k.Policy.PlaceAnon(k, p, v, va, order)
+	if err != nil {
+		return err
+	}
+	flags := pagetable.Flags(pagetable.Writable)
+	if order == addr.HugeOrder {
+		p.PT.Map2M(va, pfn, flags)
+		k.recordFault(FaultHuge, k.faultLatency(order, placed))
+		v.MappedPages += 512
+		p.RSSPages += 512
+	} else {
+		p.PT.Map4K(va, pfn, flags)
+		k.recordFault(Fault4K, k.faultLatency(order, placed))
+		v.MappedPages++
+		p.RSSPages++
+	}
+	k.Machine.Frames.Get(pfn).MapCount++
+	if k.Policy.MarksContiguity() {
+		k.markContiguity(p.PT, va, pfn, order)
+	}
+	return nil
+}
+
+// faultLatency models fault service time: entry overhead + zeroing the
+// allocated block (+ placement search when the policy made a decision).
+func (k *Kernel) faultLatency(order int, placed bool) uint64 {
+	lat := uint64(FaultBaseNs) + addr.OrderPages(order)*ZeroPageNs
+	if placed {
+		lat += PlacementNs
+	}
+	return lat
+}
+
+// cowFault resolves a write to a CoW mapping: allocate a private copy,
+// remap, and drop the reference on the shared frame.
+func (k *Kernel) cowFault(p *Process, v *vma.VMA, va addr.VirtAddr) error {
+	pte, pages, ok := p.PT.Lookup(va)
+	if !ok || !pte.Flags.Has(pagetable.CoW) {
+		return nil
+	}
+	order := 0
+	base := va.PageDown()
+	if pages == 512 {
+		order = addr.HugeOrder
+		base = va.HugeDown()
+	}
+	oldPFN := pte.PFN
+	shared := k.Machine.Frames.Get(oldPFN)
+	if shared.MapCount == 1 {
+		// Last reference: just take ownership.
+		pte.Flags = (pte.Flags &^ pagetable.CoW) | pagetable.Writable | pagetable.Dirty
+		k.recordFault(FaultCoW, FaultBaseNs)
+		return nil
+	}
+	newPFN, placed, err := k.Policy.PlaceAnon(k, p, v, base, order)
+	if err != nil {
+		return err
+	}
+	p.PT.Unmap(base)
+	flags := pagetable.Flags(pagetable.Writable | pagetable.Dirty)
+	if order == addr.HugeOrder {
+		p.PT.Map2M(base, newPFN, flags)
+	} else {
+		p.PT.Map4K(base, newPFN, flags)
+	}
+	shared.MapCount--
+	k.Machine.Frames.Get(newPFN).MapCount++
+	lat := k.faultLatency(order, placed) + addr.OrderPages(order)*CopyPageNs
+	k.recordFault(FaultCoW, lat)
+	if k.Policy.MarksContiguity() {
+		k.markContiguity(p.PT, base, newPFN, order)
+	}
+	return nil
+}
+
+// Fork creates a copy-on-write child: same VMA layout, shared frames,
+// all anonymous writable mappings downgraded to CoW in both parent and
+// child.
+func (p *Process) Fork() *Process {
+	k := p.kernel
+	child := k.NewProcess(p.HomeZone)
+	child.nextVA = p.nextVA
+	p.VMAs.Visit(func(v *vma.VMA) {
+		cv, err := child.VMAs.Insert(v.Start, v.Size(), v.Kind)
+		if err != nil {
+			panic("osim: fork VMA insert failed: " + err.Error())
+		}
+		cv.FileID = v.FileID
+		cv.FileOff = v.FileOff
+	})
+	p.PT.Visit(func(l pagetable.Leaf) {
+		v := p.VMAs.Find(l.VA)
+		cv := child.VMAs.Find(l.VA)
+		flags := l.PTE.Flags
+		if v != nil && v.Kind == vma.Anonymous && flags.Has(pagetable.Writable) {
+			flags = (flags &^ pagetable.Writable) | pagetable.CoW
+			if pte, _, ok := p.PT.Lookup(l.VA); ok {
+				pte.Flags = flags
+			}
+		}
+		if l.Pages == 512 {
+			child.PT.Map2M(l.VA, l.PTE.PFN, flags)
+		} else {
+			child.PT.Map4K(l.VA, l.PTE.PFN, flags)
+		}
+		k.Machine.Frames.Get(l.PTE.PFN).MapCount++
+		child.RSSPages += l.Pages
+		if cv != nil {
+			cv.MappedPages += l.Pages
+		}
+	})
+	return child
+}
+
+// markContiguity implements the PTE contiguity-bit protocol of §IV-C:
+// after a successful allocation the OS checks whether the new mapping
+// extends a contiguous run past the threshold, and if so tags the run's
+// PTEs so the hardware walker will feed SpOT. The backward walk stops
+// at the first already-tagged entry (a tagged run is by construction
+// already past the threshold), keeping the amortised cost O(1).
+func (k *Kernel) markContiguity(pt *pagetable.Table, va addr.VirtAddr, pfn addr.PFN, order int) {
+	runPages := addr.OrderPages(order)
+	// Walk backwards over VA-adjacent leaves that are also physically
+	// adjacent (same offset).
+	var walked []addr.VirtAddr
+	curVA, curPFN := va, pfn
+	thresholdMet := false
+	for {
+		if curVA < addr.PageSize { // underflow guard
+			break
+		}
+		prevVA := curVA - addr.PageSize // last page of the predecessor leaf
+		pte, pages, ok := pt.Lookup(prevVA)
+		if !ok {
+			break
+		}
+		// The predecessor leaf must end exactly where we begin, both
+		// virtually (guaranteed: Lookup(prev page)) and physically.
+		if pte.PFN+addr.PFN(pages) != curPFN {
+			break
+		}
+		leafVA := curVA - addr.VirtAddr(pages*addr.PageSize)
+		if pte.Flags.Has(pagetable.Contig) {
+			thresholdMet = true
+			break
+		}
+		walked = append(walked, leafVA)
+		runPages += pages
+		curVA, curPFN = leafVA, pte.PFN
+		if runPages >= k.ContigThresholdPages {
+			thresholdMet = true
+			break
+		}
+	}
+	if runPages >= k.ContigThresholdPages {
+		thresholdMet = true
+	}
+	if !thresholdMet {
+		return
+	}
+	pt.SetContig(va, true)
+	for _, w := range walked {
+		pt.SetContig(w, true)
+	}
+}
+
+// MigratePage moves the leaf mapping at va to dst (same size block,
+// already allocated by the caller), freeing the old frames. It models
+// Ranger's migration cost: per-page copy plus a TLB shootdown.
+func (k *Kernel) MigratePage(p *Process, va addr.VirtAddr, dst addr.PFN) bool {
+	pte, pages, ok := p.PT.Lookup(va)
+	if !ok {
+		return false
+	}
+	old := pte.PFN
+	order := 0
+	if pages == 512 {
+		order = addr.HugeOrder
+	}
+	pte.PFN = dst
+	f := k.Machine.Frames.Get(old)
+	f.MapCount--
+	if f.MapCount <= 0 {
+		k.Machine.FreeBlock(old, order)
+	}
+	k.Machine.Frames.Get(dst).MapCount++
+	k.Stats.Migrations += pages
+	k.Stats.Shootdowns++
+	k.Tick(pages*CopyPageNs + ShootdownNs)
+	return true
+}

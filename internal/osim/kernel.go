@@ -1,0 +1,300 @@
+// Package osim is the simulated operating-system memory manager the
+// paper extends: demand paging with transparent huge pages over the
+// buddy/zone substrate, a page cache with readahead, copy-on-write
+// forks, and a pluggable physical-placement policy. The policies — the
+// default Linux-like allocator, the paper's contiguity-aware (CA)
+// paging, eager pre-allocation, and offline-ideal placement — live in
+// this package too, because they are alternative implementations of one
+// internal allocation step.
+//
+// Time is logical: the kernel clock advances by modelled fault/zeroing
+// latencies (nanoseconds), giving deterministic Table V percentiles and
+// driving the asynchronous daemons (Ingens, Ranger) in package daemon.
+package osim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/zone"
+	"repro/internal/osim/pagetable"
+	"repro/internal/osim/vma"
+)
+
+// Latency model constants (nanoseconds of logical time). The shape
+// mirrors the paper's Table V: allocation latency is dominated by block
+// zeroing, so pre-allocating (and zeroing) a whole VMA at once magnifies
+// tail latency by orders of magnitude while demand paging amortises it.
+const (
+	// FaultBaseNs is the fixed fault-entry overhead.
+	FaultBaseNs = 3000
+	// ZeroPageNs is the cost of zeroing one 4 KiB page.
+	ZeroPageNs = 1000
+	// PlacementNs is the contiguity-map search cost CA paging adds on
+	// placement decisions (measured tiny in the paper).
+	PlacementNs = 500
+	// CopyPageNs is the copy cost of one 4 KiB page (CoW, migration).
+	CopyPageNs = 800
+	// ShootdownNs is the cost of one TLB shootdown (migrations).
+	ShootdownNs = 4000
+)
+
+// ErrSegfault is returned when an access hits no VMA.
+var ErrSegfault = errors.New("osim: access outside any VMA")
+
+// ErrOOM is returned when physical memory is exhausted.
+var ErrOOM = errors.New("osim: out of memory")
+
+// FaultKind classifies page faults for the stats the paper reports.
+type FaultKind int
+
+const (
+	// Fault4K is an anonymous 4 KiB demand fault.
+	Fault4K FaultKind = iota
+	// FaultHuge is an anonymous 2 MiB (THP) demand fault.
+	FaultHuge
+	// FaultCoW is a copy-on-write fault.
+	FaultCoW
+	// FaultFile is a page-cache (file-backed) fault.
+	FaultFile
+	// FaultEager is an eager pre-allocation event (counted as one
+	// "fault" per mmap, mirroring the paper's eager fault counts).
+	FaultEager
+	numFaultKinds
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case Fault4K:
+		return "4k"
+	case FaultHuge:
+		return "huge"
+	case FaultCoW:
+		return "cow"
+	case FaultFile:
+		return "file"
+	case FaultEager:
+		return "eager"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// Stats aggregates kernel events.
+type Stats struct {
+	Faults         [numFaultKinds]uint64
+	FaultLatencies []uint64 // ns per fault event, in occurrence order
+	CAFallbacks    uint64   // CA paging target misses that fell back
+	CAReplacements uint64   // CA paging re-placement decisions
+	CATargetHits   uint64   // CA paging successful targeted allocations
+	Migrations     uint64   // pages migrated (Ranger)
+	Shootdowns     uint64   // TLB shootdowns issued (Ranger)
+	Promotions     uint64   // huge-page promotions (Ingens)
+}
+
+// TotalFaults sums all fault kinds.
+func (s *Stats) TotalFaults() uint64 {
+	var n uint64
+	for _, c := range s.Faults {
+		n += c
+	}
+	return n
+}
+
+// Process is one simulated process: an address space in some kernel.
+type Process struct {
+	ID       int
+	HomeZone int
+	PT       *pagetable.Table
+	VMAs     vma.Set
+	// RSSPages counts frames charged to the process.
+	RSSPages uint64
+	kernel   *Kernel
+	nextVA   addr.VirtAddr
+	vmaSeq   uint64
+}
+
+// Kernel bundles the machine, the placement policy, the page cache, and
+// global accounting.
+type Kernel struct {
+	Machine *zone.Machine
+	Policy  Placement
+	Cache   *PageCache
+	Stats   Stats
+
+	// Clock is logical time in nanoseconds.
+	Clock uint64
+
+	// THPEnabled controls transparent 2 MiB faults (on by default; the
+	// Ingens configuration turns it off and promotes asynchronously).
+	THPEnabled bool
+
+	// ContigThresholdPages is the run length at which CA paging sets
+	// the PTE contiguity bit (paper: 32).
+	ContigThresholdPages uint64
+
+	// PageTableLevels is the page-table depth for new processes: 4
+	// (default, x86-64) or 5 (LA57 — the deeper walks the paper's
+	// introduction cites as a coming cost multiplier).
+	PageTableLevels int
+
+	procs  []*Process
+	nextID int
+}
+
+// NewKernel creates a kernel over the machine with the given policy.
+func NewKernel(m *zone.Machine, p Placement) *Kernel {
+	k := &Kernel{
+		Machine:              m,
+		Policy:               p,
+		THPEnabled:           true,
+		ContigThresholdPages: 32,
+		PageTableLevels:      4,
+	}
+	k.Cache = newPageCache(k)
+	return k
+}
+
+// Tick advances the logical clock by ns.
+func (k *Kernel) Tick(ns uint64) { k.Clock += ns }
+
+// BootReserve pins the first blocks MAX_ORDER blocks of every zone,
+// modelling the kernel image, memmap, and firmware reservations that
+// occupy the start of each node on a real machine. Without this, two
+// pristine adjacent zones form one seamless physical run and workloads
+// cross NUMA boundaries "for free" — masking the boundary effects the
+// paper observes for hashjoin and BT. Call right after NewKernel.
+func (k *Kernel) BootReserve(blocks int) {
+	for _, z := range k.Machine.Zones {
+		for b := 0; b < blocks; b++ {
+			if err := z.Buddy.Reserve(z.Base+addr.PFN(b*addr.MaxOrderPages), addr.MaxOrderPages); err != nil {
+				panic(fmt.Sprintf("osim: boot reserve failed on zone %d: %v", z.ID, err))
+			}
+		}
+	}
+}
+
+// NewProcess creates a process homed on the given zone.
+func (k *Kernel) NewProcess(homeZone int) *Process {
+	k.nextID++
+	p := &Process{
+		ID:       k.nextID,
+		HomeZone: homeZone,
+		PT:       pagetable.NewWithLevels(k.PageTableLevels),
+		kernel:   k,
+		nextVA:   0x10_0000_0000, // 64 GiB: clear of null/low mappings
+	}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// Processes returns the live processes.
+func (k *Kernel) Processes() []*Process { return k.procs }
+
+// MMap creates an anonymous VMA of size bytes (page-rounded) at a
+// kernel-chosen address and runs the policy's placement hook.
+func (p *Process) MMap(size uint64) (*vma.VMA, error) {
+	return p.mmap(size, vma.Anonymous, 0, 0)
+}
+
+// MMapFile maps size bytes of the file starting at byte offset off.
+func (p *Process) MMapFile(f *File, off, size uint64) (*vma.VMA, error) {
+	return p.mmap(size, vma.FileBacked, f.ID, off)
+}
+
+func (p *Process) mmap(size uint64, kind vma.Kind, fileID int, fileOff uint64) (*vma.VMA, error) {
+	size = addr.BytesToPages(size) * addr.PageSize
+	start := p.nextVA
+	// Leave an unmapped guard gap of deterministic but irregular size
+	// (mmap layout jitter): regular spacing would make distinct VMAs
+	// share translation offsets by accident, which real address-space
+	// layouts do not.
+	p.vmaSeq++
+	jitter := (p.vmaSeq * 2654435761) % 8
+	p.nextVA = start.Add(size).HugeUp() + addr.VirtAddr((1+jitter)*addr.HugeSize)
+	v, err := p.VMAs.Insert(start, size, kind)
+	if err != nil {
+		return nil, err
+	}
+	v.FileID = fileID
+	v.FileOff = fileOff
+	if err := p.kernel.Policy.OnMMap(p.kernel, p, v); err != nil {
+		p.VMAs.Remove(v)
+		return nil, err
+	}
+	return v, nil
+}
+
+// MUnmap tears down a VMA, releasing anonymous frames. Page-cache
+// frames stay in the cache (they outlive processes, §III-C).
+func (p *Process) MUnmap(v *vma.VMA) {
+	k := p.kernel
+	for va := v.Start; va < v.End; {
+		pte, pages, ok := p.PT.Unmap(va)
+		if !ok {
+			va = va.Add(addr.PageSize)
+			continue
+		}
+		f := k.Machine.Frames.Get(pte.PFN)
+		f.MapCount--
+		if f.MapCount <= 0 && v.Kind == vma.Anonymous {
+			order := 0
+			if pages == 512 {
+				order = addr.HugeOrder
+			}
+			k.Machine.FreeBlock(pte.PFN, order)
+		}
+		p.RSSPages -= pages
+		va = va.Add(pages * addr.PageSize)
+	}
+	v.MappedPages = 0
+	p.VMAs.Remove(v)
+}
+
+// Exit tears down every VMA of the process.
+func (p *Process) Exit() {
+	var all []*vma.VMA
+	p.VMAs.Visit(func(v *vma.VMA) { all = append(all, v) })
+	for _, v := range all {
+		p.MUnmap(v)
+	}
+	k := p.kernel
+	for i, q := range k.procs {
+		if q == p {
+			k.procs = append(k.procs[:i], k.procs[i+1:]...)
+			break
+		}
+	}
+}
+
+// recordFault charges a fault of the given kind and latency.
+func (k *Kernel) recordFault(kind FaultKind, latNs uint64) {
+	k.Stats.Faults[kind]++
+	k.Stats.FaultLatencies = append(k.Stats.FaultLatencies, latNs)
+	k.Tick(latNs)
+}
+
+// mapRange installs translations for a physically contiguous run
+// [pfnStart, +pages) at [vaStart, +pages*4K), choosing 2 MiB leaves
+// wherever virtual and physical alignment both allow. It updates frame
+// map counts and the process RSS. Used by eager pre-allocation, CoW of
+// huge mappings, and migration.
+func (k *Kernel) mapRange(p *Process, v *vma.VMA, vaStart addr.VirtAddr, pfnStart addr.PFN, pages uint64, flags pagetable.Flags) {
+	va, pfn, left := vaStart, pfnStart, pages
+	for left > 0 {
+		if left >= 512 && va.HugeAligned() && pfn.Addr().HugeAligned() {
+			p.PT.Map2M(va, pfn, flags)
+			k.Machine.Frames.Get(pfn).MapCount++
+			va, pfn, left = va.Add(addr.HugeSize), pfn+512, left-512
+			p.RSSPages += 512
+			v.MappedPages += 512
+		} else {
+			p.PT.Map4K(va, pfn, flags)
+			k.Machine.Frames.Get(pfn).MapCount++
+			va, pfn, left = va.Add(addr.PageSize), pfn+1, left-1
+			p.RSSPages++
+			v.MappedPages++
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package osim
+
+import (
+	"fmt"
+
+	"repro/internal/mem/addr"
+	"repro/internal/osim/pagetable"
+	"repro/internal/osim/vma"
+)
+
+// ReadaheadPages is the page-cache readahead window: a cache miss
+// populates this many consecutive file pages at once, mirroring the
+// Linux readahead allocations the paper steers with a per-file Offset.
+const ReadaheadPages = 16
+
+// File is a simulated file whose pages live in the page cache. Cache
+// pages persist after the mapping processes exit — the property that
+// makes scattered cache allocations a long-lived fragmentation source
+// (§III-C) and contiguous ones a fragmentation restraint (Fig. 9).
+type File struct {
+	ID    int
+	Bytes uint64
+
+	// pages maps file page index -> cached frame.
+	pages map[uint64]addr.PFN
+
+	// CA paging per-file placement state (struct address_space Offset).
+	offset       addr.Offset
+	placedOffset bool
+}
+
+// Pages returns the file length in pages.
+func (f *File) Pages() uint64 { return addr.BytesToPages(f.Bytes) }
+
+// CachedPages returns how many of the file's pages are resident.
+func (f *File) CachedPages() uint64 { return uint64(len(f.pages)) }
+
+// PageCache is the system-wide cache of file pages.
+type PageCache struct {
+	kernel *Kernel
+	files  map[int]*File
+	nextID int
+	// ResidentPages counts cached frames across all files.
+	ResidentPages uint64
+}
+
+func newPageCache(k *Kernel) *PageCache {
+	return &PageCache{kernel: k, files: make(map[int]*File)}
+}
+
+// CreateFile registers a file of the given size.
+func (c *PageCache) CreateFile(bytes uint64) *File {
+	c.nextID++
+	f := &File{ID: c.nextID, Bytes: bytes, pages: make(map[uint64]addr.PFN)}
+	c.files[f.ID] = f
+	return f
+}
+
+// File returns the file with the given ID, or nil.
+func (c *PageCache) File(id int) *File { return c.files[id] }
+
+// lookupOrFill returns the frame caching the file page, populating a
+// readahead window on miss. Cache fills charge allocation time on the
+// kernel clock but are *not* page faults: readahead allocation runs
+// under read() syscalls, so only mapping faults (fileFault) count
+// toward the Table V fault statistics.
+func (c *PageCache) lookupOrFill(f *File, pageIdx uint64) (addr.PFN, error) {
+	if pfn, ok := f.pages[pageIdx]; ok {
+		return pfn, nil
+	}
+	k := c.kernel
+	end := pageIdx + ReadaheadPages
+	if end > f.Pages() {
+		end = f.Pages()
+	}
+	for i := pageIdx; i < end; i++ {
+		if _, ok := f.pages[i]; ok {
+			continue
+		}
+		pfn, placed, err := k.Policy.PlaceFile(k, f, i, 0)
+		if err != nil {
+			return 0, err
+		}
+		f.pages[i] = pfn
+		c.ResidentPages++
+		// Cache frames are owned by the cache: one base reference.
+		k.Machine.Frames.Get(pfn).MapCount++
+		k.Tick(k.faultLatency(0, placed))
+	}
+	return f.pages[pageIdx], nil
+}
+
+// Read simulates a buffered read of [off, off+n) bytes: it populates
+// the cache without mapping pages into any process.
+func (c *PageCache) Read(f *File, off, n uint64) error {
+	if off+n > f.Bytes {
+		return fmt.Errorf("osim: read past EOF (%d+%d > %d)", off, n, f.Bytes)
+	}
+	for idx := off / addr.PageSize; idx <= (off+n-1)/addr.PageSize; idx++ {
+		if _, err := c.lookupOrFill(f, idx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropFile evicts a file's pages from the cache, freeing frames whose
+// only reference was the cache.
+func (c *PageCache) DropFile(f *File) {
+	k := c.kernel
+	for idx, pfn := range f.pages {
+		fr := k.Machine.Frames.Get(pfn)
+		fr.MapCount--
+		if fr.MapCount <= 0 {
+			k.Machine.FreeBlock(pfn, 0)
+		}
+		delete(f.pages, idx)
+		c.ResidentPages--
+	}
+	f.placedOffset = false
+}
+
+// DropAll evicts the whole cache (echo 3 > drop_caches).
+func (c *PageCache) DropAll() {
+	for _, f := range c.files {
+		c.DropFile(f)
+	}
+}
+
+// DropOldest evicts the oldest file still holding cache pages (LRU at
+// file granularity — the reclaim kernels run under memory pressure).
+// Reports whether anything was evicted.
+func (c *PageCache) DropOldest() bool {
+	best := 0
+	for id, f := range c.files {
+		if f.CachedPages() == 0 {
+			continue
+		}
+		if best == 0 || id < best {
+			best = id
+		}
+	}
+	if best == 0 {
+		return false
+	}
+	c.DropFile(c.files[best])
+	return true
+}
+
+// ReclaimUnder evicts old files until at least minFreeFrac of the
+// machine is free (or nothing is left to evict).
+func (c *PageCache) ReclaimUnder(minFreeFrac float64) {
+	k := c.kernel
+	for float64(k.Machine.FreePages()) < minFreeFrac*float64(k.Machine.TotalPages()) {
+		if !c.DropOldest() {
+			return
+		}
+	}
+}
+
+// fileFault maps the cache page backing va into the faulting process,
+// populating the cache if needed.
+func (k *Kernel) fileFault(p *Process, v *vma.VMA, va addr.VirtAddr) error {
+	f := k.Cache.File(v.FileID)
+	if f == nil {
+		return fmt.Errorf("osim: VMA %v references unknown file %d", v, v.FileID)
+	}
+	pageIdx := (v.FileOff + uint64(va-v.Start)) / addr.PageSize
+	if pageIdx >= f.Pages() {
+		return ErrSegfault
+	}
+	pfn, err := k.Cache.lookupOrFill(f, pageIdx)
+	if err != nil {
+		return err
+	}
+	base := va.PageDown()
+	p.PT.Map4K(base, pfn, pagetable.Flags(0)) // file maps are read-only here
+	k.Machine.Frames.Get(pfn).MapCount++
+	v.MappedPages++
+	p.RSSPages++
+	k.recordFault(FaultFile, FaultBaseNs)
+	return nil
+}

@@ -1,0 +1,147 @@
+package osim
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+func TestPageCacheReadPopulates(t *testing.T) {
+	k := newKernel(t, 16, DefaultPolicy{})
+	f := k.Cache.CreateFile(100 * addr.PageSize)
+	if f.Pages() != 100 {
+		t.Fatalf("Pages = %d", f.Pages())
+	}
+	if err := k.Cache.Read(f, 0, 10*addr.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Readahead rounds population up to the window.
+	if f.CachedPages() != ReadaheadPages {
+		t.Fatalf("cached = %d, want %d", f.CachedPages(), ReadaheadPages)
+	}
+	// Buffered reads are not page faults, but they cost time.
+	if k.Stats.Faults[FaultFile] != 0 {
+		t.Fatalf("file faults = %d, want 0 for buffered reads", k.Stats.Faults[FaultFile])
+	}
+	if k.Clock == 0 {
+		t.Fatal("cache fills should charge allocation time")
+	}
+	// Re-read is free.
+	clockBefore := k.Clock
+	if err := k.Cache.Read(f, 0, 10*addr.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if k.Clock != clockBefore {
+		t.Fatal("cached re-read cost time")
+	}
+	// EOF guard.
+	if err := k.Cache.Read(f, 99*addr.PageSize, 2*addr.PageSize); err == nil {
+		t.Fatal("read past EOF should fail")
+	}
+}
+
+func TestPageCacheSurvivesProcessExit(t *testing.T) {
+	k := newKernel(t, 16, DefaultPolicy{})
+	f := k.Cache.CreateFile(32 * addr.PageSize)
+	p := k.NewProcess(0)
+	v, err := p.MMapFile(f, 0, f.Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	touchRange(t, p, v.Start, v.Size(), addr.PageSize)
+	if f.CachedPages() != 32 {
+		t.Fatalf("cached = %d", f.CachedPages())
+	}
+	resident := k.Cache.ResidentPages
+	p.Exit()
+	// Cache pages outlive the process.
+	if k.Cache.ResidentPages != resident || f.CachedPages() != 32 {
+		t.Fatal("page cache dropped on process exit")
+	}
+	// Frames still allocated.
+	if k.Machine.FreePages() == k.Machine.TotalPages() {
+		t.Fatal("cache frames were freed with the process")
+	}
+	// A second process maps the same file: no new cache fills.
+	before := k.Stats.Faults[FaultFile]
+	p2 := k.NewProcess(0)
+	v2, _ := p2.MMapFile(f, 0, f.Bytes)
+	touchRange(t, p2, v2.Start, v2.Size(), addr.PageSize)
+	// Mapping faults occur, but no readahead allocations (same count of
+	// cache fills as before plus 32 map-in faults).
+	if k.Stats.Faults[FaultFile] != before+32 {
+		t.Fatalf("file faults = %d, want %d", k.Stats.Faults[FaultFile], before+32)
+	}
+	p2.Exit()
+	k.Cache.DropAll()
+	if k.Machine.FreePages() != k.Machine.TotalPages() {
+		t.Fatal("DropAll leaked frames")
+	}
+	if k.Cache.ResidentPages != 0 {
+		t.Fatal("ResidentPages nonzero after DropAll")
+	}
+}
+
+func TestPageCacheSharedFrames(t *testing.T) {
+	k := newKernel(t, 16, DefaultPolicy{})
+	f := k.Cache.CreateFile(4 * addr.PageSize)
+	p1, p2 := k.NewProcess(0), k.NewProcess(0)
+	v1, _ := p1.MMapFile(f, 0, f.Bytes)
+	v2, _ := p2.MMapFile(f, 0, f.Bytes)
+	touchRange(t, p1, v1.Start, v1.Size(), addr.PageSize)
+	touchRange(t, p2, v2.Start, v2.Size(), addr.PageSize)
+	pa1, _ := p1.Translate(v1.Start)
+	pa2, _ := p2.Translate(v2.Start)
+	if pa1 != pa2 {
+		t.Fatal("file page not shared between processes")
+	}
+	// Exit both; frames stay until cache drop.
+	p1.Exit()
+	p2.Exit()
+	if k.Machine.Frames.IsFree(pa1.Frame()) {
+		t.Fatal("cache frame freed while cached")
+	}
+	k.Cache.DropFile(f)
+	if !k.Machine.Frames.IsFree(pa1.Frame()) {
+		t.Fatal("cache frame not freed after drop")
+	}
+}
+
+func TestCAFilePlacementContiguous(t *testing.T) {
+	// Under CA paging, cache pages of one file form a contiguous
+	// physical run even when reads interleave with anonymous faults —
+	// the per-file Offset steering of §III-C.
+	k := newKernel(t, 64, CAPolicy{})
+	f := k.Cache.CreateFile(64 * addr.PageSize)
+	p := k.NewProcess(0)
+	anon, _ := p.MMap(64 * addr.PageSize)
+	k.THPEnabled = false
+	// Interleave: read a file chunk, touch an anon chunk.
+	for i := uint64(0); i < 64; i += ReadaheadPages {
+		if err := k.Cache.Read(f, i*addr.PageSize, ReadaheadPages*addr.PageSize); err != nil {
+			t.Fatal(err)
+		}
+		for j := i; j < i+ReadaheadPages; j++ {
+			if _, err := p.Touch(anon.Start.Add(j*addr.PageSize), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// File pages must be physically consecutive.
+	first := f.pages[0]
+	for i := uint64(1); i < 64; i++ {
+		if f.pages[i] != first+addr.PFN(i) {
+			t.Fatalf("file page %d at %d, want %d (scattered cache)", i, f.pages[i], first+addr.PFN(i))
+		}
+	}
+}
+
+func TestMMapFileBeyondEOFSegfaults(t *testing.T) {
+	k := newKernel(t, 16, DefaultPolicy{})
+	f := k.Cache.CreateFile(2 * addr.PageSize)
+	p := k.NewProcess(0)
+	v, _ := p.MMapFile(f, 0, 4*addr.PageSize) // mapping larger than file
+	if _, err := p.Touch(v.Start.Add(3*addr.PageSize), false); err != ErrSegfault {
+		t.Fatalf("want ErrSegfault past EOF, got %v", err)
+	}
+}

@@ -1,0 +1,336 @@
+// Package pagetable implements a software-walkable 4-level x86-64-style
+// page table with 4 KiB and 2 MiB leaf entries. It is used for both
+// guest page tables (gVA→gPA) and nested/extended page tables (gPA→hPA).
+//
+// Each PTE carries a reserved "contiguity" bit (§IV-C of the paper): the
+// OS sets it on translations belonging to contiguous mappings of at
+// least a threshold size, and the nested page walker only fills SpOT's
+// prediction table when the bit is set in both dimensions.
+package pagetable
+
+import (
+	"fmt"
+
+	"repro/internal/mem/addr"
+)
+
+// Flags is a PTE flag set.
+type Flags uint8
+
+const (
+	// Present marks a valid translation.
+	Present Flags = 1 << iota
+	// Writable allows stores through the mapping.
+	Writable
+	// CoW marks a copy-on-write mapping (read-only until write fault).
+	CoW
+	// Contig is the reserved contiguity bit consumed by SpOT fills.
+	Contig
+	// Accessed and Dirty mirror the hardware-set bits.
+	Accessed
+	Dirty
+)
+
+// Has reports whether all bits in q are set.
+func (f Flags) Has(q Flags) bool { return f&q == q }
+
+// PTE is a leaf translation entry.
+type PTE struct {
+	PFN   addr.PFN
+	Flags Flags
+}
+
+// Present reports whether the entry holds a valid translation.
+func (p PTE) Present() bool { return p.Flags.Has(Present) }
+
+const (
+	// fanout of each level (9 translated bits per level).
+	fanoutBits = 9
+	fanout     = 1 << fanoutBits
+
+	// HugeLevel is the level at which 2 MiB leaves live (PMD).
+	HugeLevel = 1
+)
+
+// node is one 512-entry table. A slot is either a child pointer
+// (interior) or a leaf PTE (level 0 always; level 1 when huge).
+type node struct {
+	children [fanout]*node
+	leaves   [fanout]PTE
+	huge     [fanout]bool // level HugeLevel: slot is a 2 MiB leaf
+	live     int          // populated slots, for reclaim
+}
+
+// Table is a multi-level (4- or 5-level) page table.
+type Table struct {
+	root *node
+	top  int // top level index: 3 for 4-level, 4 for 5-level
+
+	mapped4K   uint64 // live 4 KiB leaves
+	mapped2M   uint64 // live 2 MiB leaves
+	ContigBits uint64 // leaves currently carrying the Contig bit
+}
+
+// New creates an empty 4-level table (PGD..PT).
+func New() *Table { return &Table{root: &node{}, top: 3} }
+
+// NewWithLevels creates a table with the given depth: 4 is today's
+// x86-64 layout, 5 the LA57 extension the paper's introduction cites as
+// further raising walk costs. Levels outside [4,5] panic.
+func NewWithLevels(levels int) *Table {
+	if levels < 4 || levels > 5 {
+		panic(fmt.Sprintf("pagetable: unsupported depth %d", levels))
+	}
+	return &Table{root: &node{}, top: levels - 1}
+}
+
+// Levels returns the table depth.
+func (t *Table) Levels() int { return t.top + 1 }
+
+// Mapped4K returns the number of live 4 KiB leaf entries.
+func (t *Table) Mapped4K() uint64 { return t.mapped4K }
+
+// Mapped2M returns the number of live 2 MiB leaf entries.
+func (t *Table) Mapped2M() uint64 { return t.mapped2M }
+
+// MappedPages returns total mapped base pages.
+func (t *Table) MappedPages() uint64 { return t.mapped4K + t.mapped2M*512 }
+
+func index(v addr.VirtAddr, level int) int {
+	return int(uint64(v)>>(addr.PageShift+uint(level)*fanoutBits)) & (fanout - 1)
+}
+
+// Walk translates v. It returns the leaf entry, the leaf's level (0 for
+// 4 KiB, HugeLevel for 2 MiB), and the number of table references the
+// walk touched (1 per level descended) — the quantity the hardware walk
+// cost model consumes.
+func (t *Table) Walk(v addr.VirtAddr) (pte PTE, level int, steps int, ok bool) {
+	n := t.root
+	for l := t.top; l >= 0; l-- {
+		steps++
+		i := index(v, l)
+		if l == HugeLevel && n.huge[i] {
+			e := n.leaves[i]
+			if !e.Present() {
+				return PTE{}, 0, steps, false
+			}
+			return e, HugeLevel, steps, true
+		}
+		if l == 0 {
+			e := n.leaves[i]
+			if !e.Present() {
+				return PTE{}, 0, steps, false
+			}
+			return e, 0, steps, true
+		}
+		if n.children[i] == nil {
+			return PTE{}, 0, steps, false
+		}
+		n = n.children[i]
+	}
+	panic("unreachable")
+}
+
+// Translate resolves a virtual address to a physical address, honouring
+// the in-page / in-huge-page offset. ok is false if unmapped.
+func (t *Table) Translate(v addr.VirtAddr) (addr.PhysAddr, bool) {
+	pte, level, _, ok := t.Walk(v)
+	if !ok {
+		return 0, false
+	}
+	if level == HugeLevel {
+		return pte.PFN.Addr() + addr.PhysAddr(uint64(v)&addr.HugeMask), true
+	}
+	return pte.PFN.Addr() + addr.PhysAddr(uint64(v)&addr.PageMask), true
+}
+
+// descend finds (creating if create) the node at the given level on v's
+// path. Returns nil when a huge leaf blocks the path or a node is
+// missing (and !create).
+func (t *Table) descend(v addr.VirtAddr, level int, create bool) *node {
+	n := t.root
+	for l := t.top; l > level; l-- {
+		i := index(v, l)
+		if l == HugeLevel && n.huge[i] {
+			return nil
+		}
+		if n.children[i] == nil {
+			if !create {
+				return nil
+			}
+			n.children[i] = &node{}
+			n.live++
+		}
+		n = n.children[i]
+	}
+	return n
+}
+
+// Map4K installs a 4 KiB translation. v must be page aligned. Mapping
+// over an existing entry is a simulator bug and panics.
+func (t *Table) Map4K(v addr.VirtAddr, pfn addr.PFN, flags Flags) {
+	if !v.PageAligned() {
+		panic(fmt.Sprintf("pagetable: Map4K unaligned %v", v))
+	}
+	n := t.descend(v, 0, true)
+	if n == nil {
+		panic(fmt.Sprintf("pagetable: Map4K %v blocked by huge mapping", v))
+	}
+	i := index(v, 0)
+	if n.leaves[i].Present() {
+		panic(fmt.Sprintf("pagetable: Map4K double map at %v", v))
+	}
+	n.leaves[i] = PTE{PFN: pfn, Flags: flags | Present}
+	n.live++
+	t.mapped4K++
+	if flags.Has(Contig) {
+		t.ContigBits++
+	}
+}
+
+// Map2M installs a 2 MiB translation. v and pfn must be 2 MiB aligned.
+func (t *Table) Map2M(v addr.VirtAddr, pfn addr.PFN, flags Flags) {
+	if !v.HugeAligned() {
+		panic(fmt.Sprintf("pagetable: Map2M unaligned %v", v))
+	}
+	if !pfn.Addr().HugeAligned() {
+		panic(fmt.Sprintf("pagetable: Map2M unaligned frame %d", pfn))
+	}
+	n := t.descend(v, HugeLevel, true)
+	if n == nil {
+		panic(fmt.Sprintf("pagetable: Map2M %v blocked", v))
+	}
+	i := index(v, HugeLevel)
+	if n.children[i] != nil && n.children[i].live == 0 {
+		// Reclaim an emptied PT-level table (e.g. after huge-page
+		// promotion unmapped all 512 base entries).
+		n.children[i] = nil
+		n.live--
+	}
+	if n.huge[i] || n.children[i] != nil {
+		panic(fmt.Sprintf("pagetable: Map2M double map at %v", v))
+	}
+	n.huge[i] = true
+	n.leaves[i] = PTE{PFN: pfn, Flags: flags | Present}
+	n.live++
+	t.mapped2M++
+	if flags.Has(Contig) {
+		t.ContigBits++
+	}
+}
+
+// Lookup returns a pointer to the leaf entry mapping v (4K or 2M) so
+// callers can update flags in place (contiguity bit, CoW resolution).
+// Returns the leaf size in base pages.
+func (t *Table) Lookup(v addr.VirtAddr) (pte *PTE, pages uint64, ok bool) {
+	n := t.root
+	for l := t.top; l >= 0; l-- {
+		i := index(v, l)
+		if l == HugeLevel && n.huge[i] {
+			if !n.leaves[i].Present() {
+				return nil, 0, false
+			}
+			return &n.leaves[i], 512, true
+		}
+		if l == 0 {
+			if !n.leaves[i].Present() {
+				return nil, 0, false
+			}
+			return &n.leaves[i], 1, true
+		}
+		if n.children[i] == nil {
+			return nil, 0, false
+		}
+		n = n.children[i]
+	}
+	return nil, 0, false
+}
+
+// SetContig sets or clears the contiguity bit on the leaf mapping v.
+func (t *Table) SetContig(v addr.VirtAddr, on bool) bool {
+	pte, _, ok := t.Lookup(v)
+	if !ok {
+		return false
+	}
+	had := pte.Flags.Has(Contig)
+	if on && !had {
+		pte.Flags |= Contig
+		t.ContigBits++
+	} else if !on && had {
+		pte.Flags &^= Contig
+		t.ContigBits--
+	}
+	return true
+}
+
+// Unmap removes the leaf translation covering v (whatever its size) and
+// returns the entry it held along with its size in base pages.
+func (t *Table) Unmap(v addr.VirtAddr) (PTE, uint64, bool) {
+	n := t.root
+	for l := t.top; l >= 0; l-- {
+		i := index(v, l)
+		if l == HugeLevel && n.huge[i] {
+			e := n.leaves[i]
+			if !e.Present() {
+				return PTE{}, 0, false
+			}
+			n.huge[i] = false
+			n.leaves[i] = PTE{}
+			n.live--
+			t.mapped2M--
+			if e.Flags.Has(Contig) {
+				t.ContigBits--
+			}
+			return e, 512, true
+		}
+		if l == 0 {
+			e := n.leaves[i]
+			if !e.Present() {
+				return PTE{}, 0, false
+			}
+			n.leaves[i] = PTE{}
+			n.live--
+			t.mapped4K--
+			if e.Flags.Has(Contig) {
+				t.ContigBits--
+			}
+			return e, 1, true
+		}
+		if n.children[i] == nil {
+			return PTE{}, 0, false
+		}
+		n = n.children[i]
+	}
+	return PTE{}, 0, false
+}
+
+// Leaf is one mapped extent reported by Visit.
+type Leaf struct {
+	VA    addr.VirtAddr
+	PTE   PTE
+	Pages uint64 // 1 or 512
+}
+
+// Visit walks all leaves in ascending virtual-address order.
+func (t *Table) Visit(fn func(Leaf)) {
+	t.visit(t.root, t.top, 0, fn)
+}
+
+func (t *Table) visit(n *node, level int, base addr.VirtAddr, fn func(Leaf)) {
+	span := addr.VirtAddr(1) << (addr.PageShift + uint(level)*fanoutBits)
+	for i := 0; i < fanout; i++ {
+		va := base + addr.VirtAddr(i)*span
+		switch {
+		case level == HugeLevel && n.huge[i]:
+			if n.leaves[i].Present() {
+				fn(Leaf{VA: va, PTE: n.leaves[i], Pages: 512})
+			}
+		case level == 0:
+			if n.leaves[i].Present() {
+				fn(Leaf{VA: va, PTE: n.leaves[i], Pages: 1})
+			}
+		case n.children[i] != nil:
+			t.visit(n.children[i], level-1, va, fn)
+		}
+	}
+}

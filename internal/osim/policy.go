@@ -1,0 +1,63 @@
+package osim
+
+import (
+	"repro/internal/mem/addr"
+	"repro/internal/osim/vma"
+)
+
+// Placement is the physical-placement policy the kernel's fault path
+// delegates to. The paper compares four: the default allocator (THP),
+// contiguity-aware paging, eager pre-allocation, and offline-ideal
+// placement.
+type Placement interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+
+	// OnMMap runs when a VMA is created. Eager pre-allocation backs
+	// the whole VMA here; ideal placement computes its offline plan.
+	OnMMap(k *Kernel, p *Process, v *vma.VMA) error
+
+	// PlaceAnon returns a frame (block head) of the given order for an
+	// anonymous/CoW fault at va. placed reports whether the policy ran
+	// a placement decision (charged as extra fault latency).
+	PlaceAnon(k *Kernel, p *Process, v *vma.VMA, va addr.VirtAddr, order int) (pfn addr.PFN, placed bool, err error)
+
+	// PlaceFile returns a frame of the given order for page-cache
+	// population of file f at page index pageIdx.
+	PlaceFile(k *Kernel, f *File, pageIdx uint64, order int) (pfn addr.PFN, placed bool, err error)
+
+	// MarksContiguity reports whether the policy maintains the PTE
+	// contiguity bits that gate SpOT prediction-table fills.
+	MarksContiguity() bool
+}
+
+// DefaultPolicy is the stock Linux-like allocator: first available
+// block from the preferred zone's free lists, no placement steering.
+type DefaultPolicy struct{}
+
+// Name implements Placement.
+func (DefaultPolicy) Name() string { return "default" }
+
+// OnMMap implements Placement (no-op).
+func (DefaultPolicy) OnMMap(*Kernel, *Process, *vma.VMA) error { return nil }
+
+// PlaceAnon implements Placement.
+func (DefaultPolicy) PlaceAnon(k *Kernel, p *Process, _ *vma.VMA, _ addr.VirtAddr, order int) (addr.PFN, bool, error) {
+	pfn, err := k.Machine.AllocBlock(p.HomeZone, order)
+	if err != nil {
+		return 0, false, ErrOOM
+	}
+	return pfn, false, nil
+}
+
+// PlaceFile implements Placement.
+func (DefaultPolicy) PlaceFile(k *Kernel, _ *File, _ uint64, order int) (addr.PFN, bool, error) {
+	pfn, err := k.Machine.AllocBlock(0, order)
+	if err != nil {
+		return 0, false, ErrOOM
+	}
+	return pfn, false, nil
+}
+
+// MarksContiguity implements Placement.
+func (DefaultPolicy) MarksContiguity() bool { return false }

@@ -1,0 +1,253 @@
+// Package vma models virtual memory areas and the per-VMA metadata CA
+// paging attaches to them: up to MaxOffsets [fault-VA, Offset] pairs in
+// FIFO order (§III-C, "Dealing with external fragmentation") plus the
+// atomic replacement gate that serialises re-placement decisions among
+// concurrently faulting threads (§III-C, "Avoiding multithreading
+// pitfalls").
+package vma
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem/addr"
+)
+
+// MaxOffsets caps the tracked sub-VMA offsets per VMA (paper: 64,
+// FIFO). It is a variable so the offset-budget ablation can vary it;
+// production code treats it as a constant.
+var MaxOffsets = 64
+
+// Kind distinguishes mapping types; they matter for fault accounting
+// and teardown.
+type Kind uint8
+
+const (
+	// Anonymous is a demand-zero heap/stack mapping.
+	Anonymous Kind = iota
+	// FileBacked maps page-cache pages of a file.
+	FileBacked
+)
+
+func (k Kind) String() string {
+	if k == FileBacked {
+		return "file"
+	}
+	return "anon"
+}
+
+// OffsetEntry associates a tracked Offset with the fault address that
+// created it, so later faults pick the nearest one.
+type OffsetEntry struct {
+	FaultVA addr.VirtAddr
+	Offset  addr.Offset
+}
+
+// VMA is one contiguous virtual address range of a process.
+type VMA struct {
+	ID    int
+	Start addr.VirtAddr
+	End   addr.VirtAddr // exclusive
+	Kind  Kind
+	// FileID identifies the backing file for FileBacked VMAs.
+	FileID int
+	// FileOff is the file offset of Start for FileBacked VMAs (bytes).
+	FileOff uint64
+
+	// MappedPages counts base pages currently backed by frames.
+	MappedPages uint64
+
+	mu      sync.Mutex
+	offsets []OffsetEntry // FIFO, at most MaxOffsets
+
+	// replacing is the atomic flag gating Offset re-placement: only the
+	// first failing thread re-places; the rest retry or fall back.
+	replacing atomic.Bool
+
+	// touched is a lazily allocated bitmap of 4 KiB pages the workload
+	// actually accessed; it feeds bloat accounting (Table VI) and the
+	// Ingens utilisation-gated promotion daemon.
+	touched      []uint64
+	touchedPages uint64
+}
+
+// MarkTouched records an access to the page at index pageIdx (relative
+// to Start) and reports whether it is the first touch of that page.
+func (v *VMA) MarkTouched(pageIdx uint64) bool {
+	if pageIdx >= v.Pages() {
+		return false
+	}
+	if v.touched == nil {
+		v.touched = make([]uint64, (v.Pages()+63)/64)
+	}
+	w, b := pageIdx/64, pageIdx%64
+	if v.touched[w]&(1<<b) != 0 {
+		return false
+	}
+	v.touched[w] |= 1 << b
+	v.touchedPages++
+	return true
+}
+
+// TouchedPages returns the number of distinct 4 KiB pages accessed.
+func (v *VMA) TouchedPages() uint64 { return v.touchedPages }
+
+// RegionTouched counts touched pages within [pageIdx, pageIdx+n), the
+// utilisation signal Ingens promotion uses.
+func (v *VMA) RegionTouched(pageIdx, n uint64) uint64 {
+	if v.touched == nil {
+		return 0
+	}
+	var count uint64
+	for i := pageIdx; i < pageIdx+n && i < v.Pages(); i++ {
+		if v.touched[i/64]&(1<<(i%64)) != 0 {
+			count++
+		}
+	}
+	return count
+}
+
+// New creates a VMA covering [start, start+size). Both must be page
+// aligned.
+func New(id int, start addr.VirtAddr, size uint64, kind Kind) *VMA {
+	if !start.PageAligned() || size == 0 || size%addr.PageSize != 0 {
+		panic(fmt.Sprintf("vma: bad geometry start=%v size=%d", start, size))
+	}
+	return &VMA{ID: id, Start: start, End: start.Add(size), Kind: kind}
+}
+
+// Size returns the VMA length in bytes.
+func (v *VMA) Size() uint64 { return uint64(v.End - v.Start) }
+
+// Pages returns the VMA length in base pages.
+func (v *VMA) Pages() uint64 { return v.Size() / addr.PageSize }
+
+// Contains reports whether va falls inside the VMA.
+func (v *VMA) Contains(va addr.VirtAddr) bool { return va >= v.Start && va < v.End }
+
+// UnmappedPages returns how many pages are not yet backed — the key CA
+// paging uses for sub-VMA re-placement decisions.
+func (v *VMA) UnmappedPages() uint64 { return v.Pages() - v.MappedPages }
+
+func (v *VMA) String() string {
+	return fmt.Sprintf("vma{%d %s [%v,%v) %dKB}", v.ID, v.Kind, v.Start, v.End, v.Size()/1024)
+}
+
+// --- CA paging offset metadata ---
+
+// TrackOffset records a new [faultVA, offset] pair, evicting the oldest
+// entry when the FIFO budget is exhausted.
+func (v *VMA) TrackOffset(faultVA addr.VirtAddr, off addr.Offset) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.offsets) == MaxOffsets {
+		copy(v.offsets, v.offsets[1:])
+		v.offsets = v.offsets[:MaxOffsets-1]
+	}
+	v.offsets = append(v.offsets, OffsetEntry{FaultVA: faultVA, Offset: off})
+}
+
+// NearestOffset returns the tracked offset whose fault VA is closest to
+// va (§III-C: "CA paging picks the Offset associated with the virtual
+// address closest to the currently faulting").
+func (v *VMA) NearestOffset(va addr.VirtAddr) (addr.Offset, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.offsets) == 0 {
+		return 0, false
+	}
+	best := v.offsets[0]
+	bestDist := dist(best.FaultVA, va)
+	for _, e := range v.offsets[1:] {
+		if d := dist(e.FaultVA, va); d < bestDist {
+			best, bestDist = e, d
+		}
+	}
+	return best.Offset, true
+}
+
+// OffsetCount returns the number of tracked offsets.
+func (v *VMA) OffsetCount() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.offsets)
+}
+
+// ClearOffsets drops all tracked offsets (used by tests and teardown).
+func (v *VMA) ClearOffsets() {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.offsets = nil
+}
+
+func dist(a, b addr.VirtAddr) uint64 {
+	if a > b {
+		return uint64(a - b)
+	}
+	return uint64(b - a)
+}
+
+// TryBeginReplacement attempts to acquire the per-VMA re-placement gate.
+// Exactly one concurrent caller wins; it must call EndReplacement.
+func (v *VMA) TryBeginReplacement() bool {
+	return v.replacing.CompareAndSwap(false, true)
+}
+
+// EndReplacement releases the re-placement gate.
+func (v *VMA) EndReplacement() { v.replacing.Store(false) }
+
+// --- address-space VMA set ---
+
+// Set is an address-ordered collection of non-overlapping VMAs.
+type Set struct {
+	vmas   []*VMA // sorted by Start
+	nextID int
+}
+
+// Insert adds a VMA covering [start,start+size). It fails if the range
+// overlaps an existing VMA.
+func (s *Set) Insert(start addr.VirtAddr, size uint64, kind Kind) (*VMA, error) {
+	end := start.Add(size)
+	i := sort.Search(len(s.vmas), func(i int) bool { return s.vmas[i].End > start })
+	if i < len(s.vmas) && s.vmas[i].Start < end {
+		return nil, fmt.Errorf("vma: [%v,%v) overlaps %v", start, end, s.vmas[i])
+	}
+	s.nextID++
+	v := New(s.nextID, start, size, kind)
+	s.vmas = append(s.vmas, nil)
+	copy(s.vmas[i+1:], s.vmas[i:])
+	s.vmas[i] = v
+	return v, nil
+}
+
+// Remove deletes the VMA (by identity). Reports whether it was present.
+func (s *Set) Remove(v *VMA) bool {
+	for i, cur := range s.vmas {
+		if cur == v {
+			s.vmas = append(s.vmas[:i], s.vmas[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Find returns the VMA containing va, or nil.
+func (s *Set) Find(va addr.VirtAddr) *VMA {
+	i := sort.Search(len(s.vmas), func(i int) bool { return s.vmas[i].End > va })
+	if i < len(s.vmas) && s.vmas[i].Contains(va) {
+		return s.vmas[i]
+	}
+	return nil
+}
+
+// Len returns the number of VMAs.
+func (s *Set) Len() int { return len(s.vmas) }
+
+// Visit walks VMAs in address order.
+func (s *Set) Visit(fn func(*VMA)) {
+	for _, v := range s.vmas {
+		fn(v)
+	}
+}

@@ -1,0 +1,106 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestIdealCycles(t *testing.T) {
+	if IdealCycles(1000) != 5000 {
+		t.Fatalf("IdealCycles = %f", IdealCycles(1000))
+	}
+}
+
+func TestPagingOverhead(t *testing.T) {
+	r := sim.Result{Accesses: 1_000_000, Misses: 10_000, WalkCycles: 810_000}
+	// 810k walk cycles over 5M ideal cycles = 16.2%.
+	if got := PagingOverhead(r); !approx(got, 0.162, 1e-9) {
+		t.Fatalf("overhead = %f", got)
+	}
+}
+
+func TestSpotOverheadAccounting(t *testing.T) {
+	r := sim.Result{
+		Accesses:       1_000_000,
+		Misses:         10_000,
+		AvgWalkCycles:  81,
+		SpotCorrect:    9_000,
+		SpotMispredict: 500,
+		SpotNoPred:     500,
+	}
+	// correct: free; nopred: 500*81; mispred: 500*(81+20).
+	want := (500*81.0 + 500*101.0) / 5_000_000
+	if got := SpotOverhead(r); !approx(got, want, 1e-12) {
+		t.Fatalf("spot overhead = %f, want %f", got, want)
+	}
+	// All-correct hides everything.
+	r2 := r
+	r2.SpotCorrect, r2.SpotMispredict, r2.SpotNoPred = 10_000, 0, 0
+	if SpotOverhead(r2) != 0 {
+		t.Fatal("all-correct should cost nothing")
+	}
+	// SpOT with mispredictions costs more than no-predictions alone.
+	r3 := r
+	r3.SpotMispredict, r3.SpotNoPred = 1000, 0
+	r4 := r
+	r4.SpotMispredict, r4.SpotNoPred = 0, 1000
+	if SpotOverhead(r3) <= SpotOverhead(r4) {
+		t.Fatal("mispredicts must cost more than equal no-predictions")
+	}
+}
+
+func TestRMMAndDSOverheads(t *testing.T) {
+	r := sim.Result{Accesses: 1_000_000, AvgWalkCycles: 81, RMMUncovered: 100, DSMisses: 50}
+	if got := RMMOverhead(r); !approx(got, 100*81.0/5e6, 1e-12) {
+		t.Fatalf("rmm = %f", got)
+	}
+	if got := DSOverhead(r, 130); !approx(got, 50*130.0/5e6, 1e-12) {
+		t.Fatalf("ds = %f", got)
+	}
+	// Fully covered schemes cost zero.
+	r.RMMUncovered, r.DSMisses = 0, 0
+	if RMMOverhead(r) != 0 || DSOverhead(r, 130) != 0 {
+		t.Fatal("covered schemes should be free")
+	}
+}
+
+func TestEstimateUSLShape(t *testing.T) {
+	// The paper's Table VII geomeans: ~0.25% DTLB misses/instr, walk
+	// ~81 cycles -> SpOT USL ~3%; Spectre USL ~16.5% — but crucially
+	// SpOT USLs are several times fewer than Spectre USLs.
+	r := sim.Result{Accesses: 10_000_000, Misses: 125_000, AvgWalkCycles: 81}
+	u := EstimateUSL(r)
+	if !approx(u.DTLBMissesPerInstrPct, 0.25, 0.01) {
+		t.Fatalf("miss density = %f%%", u.DTLBMissesPerInstrPct)
+	}
+	if !approx(u.SpectreUSLPct, 23.5, 0.1) { // 0.0587*20*0.2
+		t.Fatalf("spectre USL = %f%%", u.SpectreUSLPct)
+	}
+	if !approx(u.SpOTUSLPct, 0.25*81*0.2, 0.1) {
+		t.Fatalf("spot USL = %f%%", u.SpOTUSLPct)
+	}
+	if u.SpOTUSLPct >= u.SpectreUSLPct {
+		t.Fatal("SpOT USLs must be far fewer than Spectre USLs")
+	}
+}
+
+func TestSoftwareRuntimeNormalization(t *testing.T) {
+	fp := uint64(100 << 20)
+	base := SoftwareRuntime(fp, 0)
+	if base != float64(fp)*AppNsPerByte {
+		t.Fatal("base runtime wrong")
+	}
+	// 3% kernel time -> 1.03x normalized.
+	kernelNs := uint64(0.03 * base)
+	if got := NormalizedRuntime(fp, kernelNs, 0); !approx(got, 1.03, 1e-6) {
+		t.Fatalf("normalized = %f", got)
+	}
+	// Same kernel time on both sides cancels.
+	if got := NormalizedRuntime(fp, 5000, 5000); got != 1 {
+		t.Fatalf("equal kernel time should normalize to 1, got %f", got)
+	}
+}

@@ -1,0 +1,268 @@
+// Package sim is the execution engine of the hardware emulation: it
+// drives a workload's access stream through the modelled L2 STLB and,
+// on every miss, exercises all the translation schemes under study
+// simultaneously — the nested/native page walk (baseline), SpOT
+// prediction, the vRMM range TLB, and Direct Segments. The schemes do
+// not interact, so one pass yields every scheme's counters on an
+// identical miss stream, mirroring the paper's BadgerTrap methodology
+// of emulating hardware inside the fault path of a real run (§V).
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/hw/ds"
+	"repro/internal/hw/rmm"
+	"repro/internal/hw/spot"
+	"repro/internal/hw/tlb"
+	"repro/internal/hw/walker"
+	"repro/internal/mem/addr"
+	"repro/internal/metrics"
+	"repro/internal/osim/pagetable"
+	"repro/internal/virt"
+	"repro/internal/workloads"
+)
+
+// Config selects the hardware parameters (defaults = Table II scaled).
+type Config struct {
+	// TLBEntries/TLBWays describe the last-level TLB. The default is a
+	// 32-entry 4-way structure: the paper's 1536-entry STLB scaled
+	// roughly with the workload footprints (~1/512), preserving the
+	// footprint/TLB-reach ratio that determines miss behaviour.
+	TLBEntries, TLBWays int
+	// SpotEntries/SpotWays describe the SpOT prediction table
+	// (paper evaluation: 32 entries, 4-way).
+	SpotEntries, SpotWays int
+	// RangeTLBEntries is the vRMM range TLB capacity (paper: 32).
+	RangeTLBEntries int
+	// EnableSchemes toggles SpOT/vRMM/DS emulation (they need the
+	// mapping state of a populated process).
+	EnableSchemes bool
+	// SpotNoConfidence/SpotNoFilter are the SpOT ablation switches
+	// (§IV-C mechanisms turned off individually).
+	SpotNoConfidence bool
+	SpotNoFilter     bool
+	// ShadowPaging replaces the nested-walk baseline with shadow
+	// paging for virtualized environments: hits walk the composite
+	// table at native cost; shadow misses add a hypervisor exit.
+	ShadowPaging bool
+	// ShadowExitCycles is the cost of one shadow-sync hypervisor exit
+	// (default 1200 cycles, a VM-exit round trip).
+	ShadowExitCycles float64
+}
+
+// Defaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.TLBEntries == 0 {
+		c.TLBEntries = 32
+	}
+	if c.TLBWays == 0 {
+		c.TLBWays = 4
+	}
+	if c.SpotEntries == 0 {
+		c.SpotEntries = 32
+	}
+	if c.SpotWays == 0 {
+		c.SpotWays = 4
+	}
+	if c.RangeTLBEntries == 0 {
+		c.RangeTLBEntries = 32
+	}
+	if c.ShadowExitCycles == 0 {
+		c.ShadowExitCycles = 1200
+	}
+	return c
+}
+
+// Result aggregates one run's counters.
+type Result struct {
+	Accesses uint64
+	Misses   uint64
+
+	// WalkCycles is the total baseline page-walk cost (native or
+	// nested, by environment) of all misses.
+	WalkCycles float64
+	// AvgWalkCycles is WalkCycles/Misses.
+	AvgWalkCycles float64
+
+	// SpOT outcome counts (Fig. 14).
+	SpotCorrect, SpotMispredict, SpotNoPred uint64
+
+	// RMMUncovered counts misses served by no range (pay a full walk);
+	// RMMHits+RMMFills are background-hidden in the paper's model.
+	RMMUncovered uint64
+	RMMHits      uint64
+
+	// DSMisses counts misses outside the direct segment.
+	DSMisses uint64
+
+	// Faults counts stream accesses that had to demand-fault (streams
+	// normally run fully populated; nonzero indicates setup gaps).
+	Faults uint64
+
+	// ShadowSyncs counts shadow-paging synchronisation exits (only with
+	// Config.ShadowPaging).
+	ShadowSyncs uint64
+}
+
+// MissRatio returns Misses/Accesses.
+func (r Result) MissRatio() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Misses) / float64(r.Accesses)
+}
+
+// Run drives n accesses of the workload stream through the machinery.
+// The environment must already be set up (populated) by the workload.
+func Run(env *workloads.Env, stream workloads.Stream, cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	t := tlb.New(cfg.TLBEntries, cfg.TLBWays)
+	var res Result
+
+	var shadow *virt.ShadowTable
+	if cfg.ShadowPaging && env.VM != nil {
+		shadow = env.VM.NewShadow(env.Proc)
+	}
+
+	var sp *spot.Table
+	var rt *rmm.RangeTLB
+	var rtab *rmm.Table
+	var seg *ds.Segment
+	if cfg.EnableSchemes {
+		sp = spot.New(cfg.SpotEntries, cfg.SpotWays)
+		sp.DisableConfidence = cfg.SpotNoConfidence
+		sp.IgnoreFilter = cfg.SpotNoFilter
+		rt = rmm.NewRangeTLB(cfg.RangeTLBEntries)
+		rtab = rmm.NewTable(extractMappings(env))
+		seg = buildSegment(env)
+	}
+
+	for {
+		a, ok := stream.Next()
+		if !ok {
+			break
+		}
+		res.Accesses++
+		if t.Lookup(a.VA) {
+			continue
+		}
+		res.Misses++
+
+		hpa, leafHuge, cost, gContig, hContig, ok := resolve(env, a.VA)
+		if shadow != nil {
+			if shpa, lvl, synced, sok := shadow.Walk(a.VA); sok {
+				hpa, ok = shpa, true
+				leafHuge = lvl == pagetable.HugeLevel
+				cost = walker.NativeCost(lvl)
+				if synced {
+					cost += cfg.ShadowExitCycles
+					res.ShadowSyncs++
+				}
+			}
+		}
+		if !ok {
+			// The stream touched something unpopulated: fault it in and
+			// retry (counted; should be rare).
+			res.Faults++
+			if err := env.Touch(a.VA, a.Write); err != nil {
+				return res, fmt.Errorf("sim: fault at %v: %w", a.VA, err)
+			}
+			hpa, leafHuge, cost, gContig, hContig, ok = resolve(env, a.VA)
+			if !ok {
+				return res, fmt.Errorf("sim: unresolvable access at %v", a.VA)
+			}
+		}
+		res.WalkCycles += cost
+		t.Insert(a.VA, leafHuge)
+
+		if !cfg.EnableSchemes {
+			continue
+		}
+		// SpOT: predict before the walk, verify after.
+		pred, did := sp.Predict(a.PC, a.VA)
+		switch sp.Verify(a.PC, a.VA, hpa, pred, did, gContig && hContig) {
+		case spot.Correct:
+			res.SpotCorrect++
+		case spot.Mispredict:
+			res.SpotMispredict++
+		default:
+			res.SpotNoPred++
+		}
+		// vRMM.
+		if _, covered := rt.Lookup(a.VA, rtab); covered {
+			res.RMMHits++
+		} else {
+			res.RMMUncovered++
+		}
+		// Direct Segments dual direct mode.
+		if _, hit := seg.Lookup(a.VA); !hit {
+			res.DSMisses++
+		}
+	}
+	if res.Misses > 0 {
+		res.AvgWalkCycles = res.WalkCycles / float64(res.Misses)
+	}
+	return res, nil
+}
+
+// resolve performs the baseline translation for va: a nested walk in a
+// VM, a native walk otherwise. It returns the final physical address,
+// whether the effective TLB entry is huge (both dimensions huge in a
+// VM), the walk cost in cycles, and the contiguity bits (the native
+// case reports the single PTE bit in both positions).
+func resolve(env *workloads.Env, va addr.VirtAddr) (hpa addr.PhysAddr, leafHuge bool, cost float64, gContig, hContig, ok bool) {
+	if env.VM != nil {
+		w := env.VM.Walk(env.Proc, va)
+		if !w.OK {
+			return 0, false, 0, false, false, false
+		}
+		huge := w.GuestLevel == pagetable.HugeLevel && w.HostLevel == pagetable.HugeLevel
+		return w.HPA, huge, walker.NestedCost(w), w.GuestContig, w.HostContig, true
+	}
+	pte, level, _, okWalk := env.Proc.PT.Walk(va)
+	if !okWalk {
+		return 0, false, 0, false, false, false
+	}
+	span := uint64(addr.PageSize)
+	if level == pagetable.HugeLevel {
+		span = addr.HugeSize
+	}
+	pa := pte.PFN.Addr() + addr.PhysAddr(uint64(va)&(span-1))
+	contig := pte.Flags.Has(pagetable.Contig)
+	return pa, level == pagetable.HugeLevel, walker.NativeCost(level), contig, contig, true
+}
+
+// extractMappings pulls the current contiguous mappings of the
+// environment's process: full 2D mappings in a VM, native mappings
+// otherwise. These feed the vRMM range table and the DS segment.
+func extractMappings(env *workloads.Env) []metrics.Mapping {
+	if env.VM != nil {
+		return env.VM.Mappings2D(env.Proc)
+	}
+	return metrics.FromPageTable(env.Proc.PT)
+}
+
+// buildSegment models Direct Segments' dual direct mode: one segment
+// sized to cover the process's populated span. DS pre-reserves its
+// memory at boot, so the emulated segment covers the whole virtual
+// extent with the offset of its first mapping — accesses whose actual
+// translation differs would, on real DS hardware, have been *placed*
+// at the segment target; for overhead accounting only in/out of the
+// segment range matters.
+func buildSegment(env *workloads.Env) *ds.Segment {
+	ms := extractMappings(env)
+	if len(ms) == 0 {
+		return ds.NewSegment(0, 0, 0)
+	}
+	lo, hi := ms[0].VA, ms[0].End()
+	for _, m := range ms[1:] {
+		if m.VA < lo {
+			lo = m.VA
+		}
+		if m.End() > hi {
+			hi = m.End()
+		}
+	}
+	return ds.NewSegment(lo, uint64(hi-lo), ms[0].Offset())
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/zone"
+	"repro/internal/osim"
+	"repro/internal/virt"
+	"repro/internal/workloads"
+)
+
+func hostMachine(t testing.TB) *zone.Machine {
+	t.Helper()
+	return zone.NewMachine(zone.Config{ZonePages: []uint64{
+		112 * addr.MaxOrderPages, 112 * addr.MaxOrderPages, // 2 x 448 MiB
+	}})
+}
+
+func nativeEnv(t testing.TB, policy osim.Placement) *workloads.Env {
+	t.Helper()
+	k := osim.NewKernel(hostMachine(t), policy)
+	return workloads.NewNativeEnv(k, 0)
+}
+
+func virtEnv(t testing.TB, guestPolicy, hostPolicy osim.Placement) *workloads.Env {
+	t.Helper()
+	host := osim.NewKernel(hostMachine(t), hostPolicy)
+	vm, err := virt.New(host, virt.Config{
+		MemBytes:    768 << 20,
+		GuestZones:  []uint64{96 * addr.MaxOrderPages, 96 * addr.MaxOrderPages},
+		GuestPolicy: guestPolicy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return workloads.NewVirtEnv(vm, 0)
+}
+
+func setupAndRun(t testing.TB, env *workloads.Env, w workloads.Workload, n uint64, cfg Config) Result {
+	t.Helper()
+	if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(env, w.Stream(rand.New(rand.NewSource(2)), n), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNativeRunBasics(t *testing.T) {
+	env := nativeEnv(t, osim.CAPolicy{})
+	res := setupAndRun(t, env, workloads.NewPageRank(), 100_000, Config{})
+	if res.Accesses != 100_000 {
+		t.Fatalf("accesses = %d", res.Accesses)
+	}
+	if res.Misses == 0 {
+		t.Fatal("no TLB misses — workload footprint must exceed TLB reach")
+	}
+	if res.MissRatio() > 0.2 {
+		t.Fatalf("miss ratio %.3f implausibly high for THP", res.MissRatio())
+	}
+	if res.Faults != 0 {
+		t.Fatalf("stream faulted %d times; setup should fully populate", res.Faults)
+	}
+	if res.AvgWalkCycles <= 0 {
+		t.Fatal("no walk cost accumulated")
+	}
+}
+
+func TestVirtWalksCostMoreThanNative(t *testing.T) {
+	w := workloads.NewPageRank()
+	nat := setupAndRun(t, nativeEnv(t, osim.CAPolicy{}), w, 50_000, Config{})
+	vrt := setupAndRun(t, virtEnv(t, osim.CAPolicy{}, osim.CAPolicy{}), workloads.NewPageRank(), 50_000, Config{})
+	if vrt.AvgWalkCycles <= nat.AvgWalkCycles {
+		t.Fatalf("nested walks (%f) should cost more than native (%f)",
+			vrt.AvgWalkCycles, nat.AvgWalkCycles)
+	}
+}
+
+func Test4KModeMissesMore(t *testing.T) {
+	thpEnv := nativeEnv(t, osim.CAPolicy{})
+	thp := setupAndRun(t, thpEnv, workloads.NewPageRank(), 50_000, Config{})
+	e4k := nativeEnv(t, osim.CAPolicy{})
+	e4k.Kernel.THPEnabled = false
+	p4k := setupAndRun(t, e4k, workloads.NewPageRank(), 50_000, Config{})
+	if p4k.MissRatio() <= thp.MissRatio()*2 {
+		t.Fatalf("4K miss ratio %.4f should far exceed THP %.4f", p4k.MissRatio(), thp.MissRatio())
+	}
+}
+
+func TestSpotWithCAPredictsWell(t *testing.T) {
+	env := virtEnv(t, osim.CAPolicy{}, osim.CAPolicy{})
+	res := setupAndRun(t, env, workloads.NewPageRank(), 300_000, Config{EnableSchemes: true})
+	total := res.SpotCorrect + res.SpotMispredict + res.SpotNoPred
+	if total != res.Misses {
+		t.Fatalf("SpOT outcomes %d != misses %d", total, res.Misses)
+	}
+	correct := float64(res.SpotCorrect) / float64(total)
+	if correct < 0.9 {
+		t.Fatalf("PageRank+CA correct rate = %.3f, want > 0.9 (paper: >99%%)", correct)
+	}
+	mispred := float64(res.SpotMispredict) / float64(total)
+	if mispred > 0.05 {
+		t.Fatalf("mispredict rate = %.3f, want < 5%%", mispred)
+	}
+}
+
+func TestSpotWithoutCARarelyPredicts(t *testing.T) {
+	// Default policy sets no contiguity bits, so SpOT's fill filter
+	// keeps the table empty: essentially everything is no-prediction.
+	env := virtEnv(t, osim.DefaultPolicy{}, osim.DefaultPolicy{})
+	res := setupAndRun(t, env, workloads.NewPageRank(), 100_000, Config{EnableSchemes: true})
+	if res.SpotCorrect+res.SpotMispredict > res.Misses/100 {
+		t.Fatalf("SpOT predicted %d+%d of %d misses without contiguity bits",
+			res.SpotCorrect, res.SpotMispredict, res.Misses)
+	}
+}
+
+func TestHashjoinMispredictsMoreThanPagerank(t *testing.T) {
+	// hashjoin's random probes across a multi-mapping footprint are
+	// SpOT's worst case (Fig. 14).
+	pr := setupAndRun(t, virtEnv(t, osim.CAPolicy{}, osim.CAPolicy{}),
+		workloads.NewPageRank(), 200_000, Config{EnableSchemes: true})
+	hj := setupAndRun(t, virtEnv(t, osim.CAPolicy{}, osim.CAPolicy{}),
+		workloads.NewHashJoin(), 200_000, Config{EnableSchemes: true})
+	prRate := float64(pr.SpotMispredict) / float64(pr.Misses)
+	hjRate := float64(hj.SpotMispredict) / float64(hj.Misses)
+	if hjRate < prRate {
+		t.Fatalf("hashjoin mispredict %.4f < pagerank %.4f", hjRate, prRate)
+	}
+}
+
+func TestRMMCoversWithCA(t *testing.T) {
+	env := virtEnv(t, osim.CAPolicy{}, osim.CAPolicy{})
+	res := setupAndRun(t, env, workloads.NewPageRank(), 200_000, Config{EnableSchemes: true})
+	// With CA the footprint is a handful of ranges: a 32-entry range
+	// TLB covers essentially every miss.
+	uncovRate := float64(res.RMMUncovered) / float64(res.Misses)
+	if uncovRate > 0.01 {
+		t.Fatalf("vRMM uncovered rate = %.4f, want ~0", uncovRate)
+	}
+}
+
+func TestDSCoversPopulatedSpan(t *testing.T) {
+	env := virtEnv(t, osim.CAPolicy{}, osim.CAPolicy{})
+	res := setupAndRun(t, env, workloads.NewPageRank(), 100_000, Config{EnableSchemes: true})
+	if res.DSMisses != 0 {
+		t.Fatalf("DS misses = %d, dual direct mode should cover the VMAs", res.DSMisses)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	run := func() Result {
+		env := virtEnv(t, osim.CAPolicy{}, osim.CAPolicy{})
+		return setupAndRun(t, env, workloads.NewXSBench(), 50_000, Config{EnableSchemes: true})
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.TLBEntries != 32 || c.TLBWays != 4 || c.SpotEntries != 32 || c.SpotWays != 4 || c.RangeTLBEntries != 32 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	// Explicit values survive.
+	c2 := Config{TLBEntries: 128, TLBWays: 8}.withDefaults()
+	if c2.TLBEntries != 128 || c2.TLBWays != 8 {
+		t.Fatal("explicit config overridden")
+	}
+}
+
+func TestShadowPagingScheme(t *testing.T) {
+	env := virtEnv(t, osim.CAPolicy{}, osim.CAPolicy{})
+	w := workloads.NewPageRank()
+	if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	nested, err := Run(env, w.Stream(rand.New(rand.NewSource(2)), 600_000), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowed, err := Run(env, w.Stream(rand.New(rand.NewSource(2)), 600_000), Config{ShadowPaging: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shadowed.ShadowSyncs == 0 {
+		t.Fatal("no shadow syncs recorded")
+	}
+	if nested.ShadowSyncs != 0 {
+		t.Fatal("nested run recorded shadow syncs")
+	}
+	// The identical miss stream resolves identically.
+	if shadowed.Misses != nested.Misses {
+		t.Fatalf("miss streams diverged: %d vs %d", shadowed.Misses, nested.Misses)
+	}
+	// Steady-state shadow walks cost native latency, so the average
+	// walk cost sits between native THP and nested THP once syncs
+	// amortise (pagerank: few composite fills, many hits).
+	if shadowed.AvgWalkCycles >= nested.AvgWalkCycles {
+		t.Fatalf("shadow avg walk %f should beat nested %f for a huge-backed footprint",
+			shadowed.AvgWalkCycles, nested.AvgWalkCycles)
+	}
+}

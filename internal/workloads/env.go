@@ -1,0 +1,181 @@
+// Package workloads provides synthetic generators reproducing the
+// allocation shape and access patterns of the paper's five evaluation
+// workloads (Table III) at ~1/512 of their footprints, plus the "hog"
+// fragmentation micro-benchmark. Each workload has two phases, like the
+// paper's PAPI-delimited runs:
+//
+//   - Setup: mmap the VMAs, read dataset files through the page cache,
+//     and populate memory by touching it (the allocation phase that CA
+//     paging steers);
+//   - Stream: a deterministic (pc, va, write) access generator for the
+//     measured execution phase that the sim engine drives through the
+//     TLB and translation hardware.
+//
+// What matters for fidelity is not the computation but (a) few large
+// VMAs, (b) fault order during population, (c) per-PC access locality:
+// which instructions touch which mappings how. Those are reproduced per
+// workload; see each constructor's comment.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mem/addr"
+	"repro/internal/osim"
+	"repro/internal/osim/vma"
+	"repro/internal/virt"
+)
+
+// Daemon is a periodic background activity (Ingens, Ranger, metric
+// samplers) polled on the workload's touch path, mirroring how kernel
+// daemons interleave with application faults.
+type Daemon interface {
+	Maybe()
+}
+
+// Env abstracts where a workload runs: native (kernel+process) or
+// inside a VM (guest process with nested backing).
+type Env struct {
+	Kernel *osim.Kernel  // the kernel serving the application
+	Proc   *osim.Process // the application process
+	VM     *virt.VM      // non-nil when virtualized
+
+	// Daemons are polled after every touch; they self-gate on the
+	// kernel's logical clock.
+	Daemons []Daemon
+}
+
+// NewNativeEnv creates a process on the given kernel.
+func NewNativeEnv(k *osim.Kernel, homeZone int) *Env {
+	return &Env{Kernel: k, Proc: k.NewProcess(homeZone)}
+}
+
+// NewVirtEnv creates a guest process inside the VM.
+func NewVirtEnv(vm *virt.VM, homeZone int) *Env {
+	return &Env{Kernel: vm.Guest, Proc: vm.NewGuestProcess(homeZone), VM: vm}
+}
+
+// Touch accesses va, faulting in one or both dimensions as needed, and
+// polls the attached daemons.
+func (e *Env) Touch(va addr.VirtAddr, write bool) error {
+	var err error
+	if e.VM != nil {
+		err = e.VM.Touch(e.Proc, va, write)
+	} else {
+		_, err = e.Proc.Touch(va, write)
+	}
+	for _, d := range e.Daemons {
+		d.Maybe()
+	}
+	return err
+}
+
+// MMap creates an anonymous VMA.
+func (e *Env) MMap(bytes uint64) (*vma.VMA, error) { return e.Proc.MMap(bytes) }
+
+// MMapSlack creates an anonymous VMA of used+slack bytes, modelling the
+// user-space allocator's rounding (the paper's modified TCMalloc with
+// increased maximum allocation): the application will only ever touch
+// the first used bytes. The untouched slack is what eager paging turns
+// into memory bloat (Table VI).
+func (e *Env) MMapSlack(used uint64, slackFrac float64) (*vma.VMA, error) {
+	total := used + uint64(slackFrac*float64(used))
+	return e.Proc.MMap(total)
+}
+
+// Populate touches every page of the VMA sequentially (writes).
+func (e *Env) Populate(v *vma.VMA) error { return e.PopulatePrefix(v, v.Size()) }
+
+// PopulatePrefix touches the first bytes of the VMA (writes): the used
+// portion of a slack-allocated VMA.
+func (e *Env) PopulatePrefix(v *vma.VMA, bytes uint64) error {
+	if bytes > v.Size() {
+		bytes = v.Size()
+	}
+	for off := uint64(0); off < bytes; off += addr.PageSize {
+		if err := e.Touch(v.Start.Add(off), true); err != nil {
+			return fmt.Errorf("populate %v at +%d: %w", v, off, err)
+		}
+	}
+	return nil
+}
+
+// ReadDataset reads a file of the given size through the page cache
+// (creating it), modelling dataset ingestion. Returns the file.
+func (e *Env) ReadDataset(bytes uint64) (*osim.File, error) {
+	f := e.Kernel.Cache.CreateFile(bytes)
+	if err := e.Kernel.Cache.Read(f, 0, bytes); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Exit tears the process down (the VM's nested backing persists).
+func (e *Env) Exit() { e.Proc.Exit() }
+
+// Access is one memory reference of the measured phase.
+type Access struct {
+	PC    uint64
+	VA    addr.VirtAddr
+	Write bool
+}
+
+// Stream generates the measured phase's access sequence. Next returns
+// false when the stream is exhausted.
+type Stream interface {
+	Next() (Access, bool)
+}
+
+// Workload is one of the paper's benchmarks.
+type Workload interface {
+	// Name is the paper's benchmark name.
+	Name() string
+	// FootprintBytes is the anonymous footprint (excluding files).
+	FootprintBytes() uint64
+	// Setup allocates and populates memory in env.
+	Setup(env *Env, rng *rand.Rand) error
+	// Stream returns a deterministic access stream of n references for
+	// the measured phase. Setup must have been called on env.
+	Stream(rng *rand.Rand, n uint64) Stream
+}
+
+// funcStream adapts a generator function to Stream.
+type funcStream struct {
+	n    uint64
+	i    uint64
+	next func() Access
+}
+
+func (s *funcStream) Next() (Access, bool) {
+	if s.i >= s.n {
+		return Access{}, false
+	}
+	s.i++
+	return s.next(), true
+}
+
+// region is a populated VMA the stream generators index into.
+type region struct {
+	start addr.VirtAddr
+	pages uint64
+}
+
+func regionOf(v *vma.VMA) region { return region{start: v.Start, pages: v.Pages()} }
+
+// pageVA returns the VA of the page at index i within the region.
+func (r region) pageVA(i uint64) addr.VirtAddr {
+	return r.start.Add((i % r.pages) * addr.PageSize)
+}
+
+// seqWalker strides through a region page by page, wrapping.
+type seqWalker struct {
+	r   region
+	pos uint64
+}
+
+func (w *seqWalker) next() addr.VirtAddr {
+	va := w.r.pageVA(w.pos)
+	w.pos++
+	return va
+}

@@ -1,0 +1,43 @@
+package workloads
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+func TestHogFinePinsAlignmentSelectively(t *testing.T) {
+	m := machineFor(t)
+	ext := HogFine(m, 0.2, rand.New(rand.NewSource(4)))
+	if len(ext) == 0 {
+		t.Fatal("nothing pinned")
+	}
+	// Every extent is a single 2 MiB chunk at an odd slot.
+	for _, e := range ext {
+		if e.Pages != 512 {
+			t.Fatalf("chunk pages = %d, want 512", e.Pages)
+		}
+		if uint64(e.PFN)%addr.MaxOrderPages != 512 {
+			t.Fatalf("chunk at %d not at an odd 2MiB slot", e.PFN)
+		}
+	}
+	// MAX_ORDER-aligned blocks are destroyed one per chunk, while the
+	// 2 MiB supply stays large.
+	var maxBlocks, hugeBlocks uint64
+	for _, z := range m.Zones {
+		maxBlocks += z.Buddy.FreeBlocks(addr.MaxOrder)
+		hugeBlocks += z.Buddy.FreeBlocks(addr.HugeOrder)
+	}
+	total := m.TotalPages() / addr.MaxOrderPages
+	if maxBlocks > total-uint64(len(ext)) {
+		t.Fatalf("aligned blocks = %d with %d pins", maxBlocks, len(ext))
+	}
+	if hugeBlocks < uint64(len(ext)) {
+		t.Fatalf("huge blocks = %d, want >= one per pinned block", hugeBlocks)
+	}
+	Unhog(m, ext)
+	if m.FreePages() != m.TotalPages() {
+		t.Fatal("Unhog leaked")
+	}
+}

@@ -1,0 +1,458 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"repro/internal/mem/addr"
+)
+
+// Scaled footprints: the paper's 29–167 GB workloads divided by ~512,
+// preserving their relative spread (Table III).
+const (
+	MiB = 1 << 20
+
+	svmModelBytes    = 8 * MiB
+	svmFeatureBytes  = 88 * MiB
+	svmDatasetBytes  = 32 * MiB // kdd12 through the page cache
+	svmSmallVMACount = 24
+	svmSmallVMABytes = 512 << 10
+
+	prVertexBytes  = 120 * MiB
+	prEdgeBytes    = 112 * MiB
+	prDatasetBytes = 48 * MiB // friendster through the page cache
+
+	hjTableBytes  = 400 * MiB // spans two 384 MiB guest zones like the 102 GB original
+	hjBufferBytes = 16 * MiB
+
+	xsGridBytes      = 256 * MiB
+	xsUnionizedBytes = 192 * MiB
+
+	btArrayBytes = 96 * MiB // ×5 arrays = 480 MiB, the biggest footprint
+	btArrays     = 5
+)
+
+// Allocator slack: the fraction of each heap VMA the application maps
+// but never touches (TCMalloc rounding, Table VI). Eager paging turns
+// this into bloat; demand paging does not. Fractions follow the
+// paper's measured eager bloat percentages.
+const (
+	svmSlack      = 0.08
+	pagerankSlack = 0.065
+	hashjoinSlack = 0.48
+	xsbenchSlack  = 0.005
+	btSlack       = 0.001
+)
+
+// usedRegion builds a stream region covering only the touched part of
+// a VMA allocated with slack.
+func usedRegion(start addr.VirtAddr, usedBytes uint64) region {
+	return region{start: start, pages: usedBytes / addr.PageSize}
+}
+
+// PC values: fixed synthetic instruction addresses so the SpOT table
+// indexes deterministically.
+func pc(workload, instr int) uint64 { return 0x400000 + uint64(workload)<<12 + uint64(instr)*4 }
+
+// ---------------------------------------------------------------- SVM
+
+// SVM models Liblinear SVM on kdd12: a dataset ingested via the page
+// cache into a large feature matrix, a small hot model vector, and —
+// key to its SpOT behaviour — a set of small auxiliary VMAs whose
+// scattered mappings defeat offset prediction for the instruction that
+// walks them (§VI-B: ~4 % of SVM's misses fall outside the 32 largest
+// mappings and one instruction misses irregularly).
+type SVM struct {
+	features region
+	model    region
+	small    []region
+}
+
+// NewSVM constructs the workload.
+func NewSVM() *SVM { return &SVM{} }
+
+// Name implements Workload.
+func (s *SVM) Name() string { return "svm" }
+
+// FootprintBytes implements Workload.
+func (s *SVM) FootprintBytes() uint64 {
+	return svmModelBytes + svmFeatureBytes + svmSmallVMACount*svmSmallVMABytes
+}
+
+// Setup implements Workload: dataset read interleaved with heap
+// population (readahead interleaving of §III-C), then the model and the
+// small auxiliary VMAs.
+func (s *SVM) Setup(env *Env, rng *rand.Rand) error {
+	f := env.Kernel.Cache.CreateFile(svmDatasetBytes)
+	feat, err := env.MMapSlack(svmFeatureBytes, svmSlack)
+	if err != nil {
+		return err
+	}
+	// Interleave file reads with heap writes: read a chunk, populate a
+	// chunk (applications parse file data into heap structures).
+	chunk := uint64(4 * MiB)
+	read := uint64(0)
+	for off := uint64(0); off < svmFeatureBytes; off += chunk {
+		if read < svmDatasetBytes {
+			n := chunk
+			if read+n > svmDatasetBytes {
+				n = svmDatasetBytes - read
+			}
+			if err := env.Kernel.Cache.Read(f, read, n); err != nil {
+				return err
+			}
+			read += n
+		}
+		end := off + chunk
+		if end > svmFeatureBytes {
+			end = svmFeatureBytes
+		}
+		for o := off; o < end; o += addr.PageSize {
+			if err := env.Touch(feat.Start.Add(o), true); err != nil {
+				return err
+			}
+		}
+	}
+	model, err := env.MMap(svmModelBytes)
+	if err != nil {
+		return err
+	}
+	if err := env.Populate(model); err != nil {
+		return err
+	}
+	s.features, s.model = usedRegion(feat.Start, svmFeatureBytes), regionOf(model)
+	s.small = nil
+	for i := 0; i < svmSmallVMACount; i++ {
+		v, err := env.MMap(svmSmallVMABytes)
+		if err != nil {
+			return err
+		}
+		if err := env.Populate(v); err != nil {
+			return err
+		}
+		s.small = append(s.small, regionOf(v))
+	}
+	return nil
+}
+
+// Stream implements Workload. SVM's measured phase: sparse row scans
+// striding past huge-page boundaries (most misses, predictable within
+// a mapping), hot model updates, a random gather, and the irregular
+// instruction hopping across the scattered small VMAs that produces
+// the paper's unpredictable miss tail (§VI-B).
+func (s *SVM) Stream(rng *rand.Rand, n uint64) Stream {
+	// Sparse row strides: larger than a huge page, so nearly every
+	// reference of these PCs lands on a fresh 2 MiB region.
+	strideA := &seqWalker{r: s.features}
+	strideB := &seqWalker{r: s.features, pos: s.features.pages / 3}
+	return &funcStream{n: n, next: func() Access {
+		switch x := rng.Intn(1000); {
+		case x < 5: // sparse row scan, instruction A
+			strideA.pos += 700
+			return Access{PC: pc(1, 0), VA: strideA.next()}
+		case x < 9: // sparse row scan, instruction B
+			strideB.pos += 1300
+			return Access{PC: pc(1, 1), VA: strideB.next()}
+		case x < 100: // dense in-row accesses (page-sequential)
+			return Access{PC: pc(1, 5), VA: strideA.r.pageVA(strideA.pos + uint64(rng.Intn(8)))}
+		case x < 985: // hot model vector (TLB resident)
+			return Access{PC: pc(1, 2), VA: s.model.pageVA(uint64(rng.Intn(8))), Write: true}
+		case x < 996: // random feature gather
+			return Access{PC: pc(1, 3), VA: s.features.pageVA(rng.Uint64())}
+		default: // irregular hops across scattered small VMAs
+			r := s.small[rng.Intn(len(s.small))]
+			return Access{PC: pc(1, 4), VA: r.pageVA(rng.Uint64())}
+		}
+	}}
+}
+
+// ----------------------------------------------------------- PageRank
+
+// PageRank models Ligra PageRank on friendster: an edge array streamed
+// sequentially and a vertex array accessed randomly — but both inside
+// single huge VMAs, which is why SpOT predicts it almost perfectly once
+// CA paging makes each VMA one mapping (Fig. 14: >99 % correct).
+type PageRank struct {
+	vertices region
+	edges    region
+}
+
+// NewPageRank constructs the workload.
+func NewPageRank() *PageRank { return &PageRank{} }
+
+// Name implements Workload.
+func (p *PageRank) Name() string { return "pagerank" }
+
+// FootprintBytes implements Workload.
+func (p *PageRank) FootprintBytes() uint64 { return prVertexBytes + prEdgeBytes }
+
+// Setup implements Workload.
+func (p *PageRank) Setup(env *Env, rng *rand.Rand) error {
+	f := env.Kernel.Cache.CreateFile(prDatasetBytes)
+	edges, err := env.MMapSlack(prEdgeBytes, pagerankSlack)
+	if err != nil {
+		return err
+	}
+	// Graph loading: read file chunks, write edge array.
+	chunk := uint64(8 * MiB)
+	read := uint64(0)
+	for off := uint64(0); off < prEdgeBytes; off += chunk {
+		if read < prDatasetBytes {
+			n := chunk
+			if read+n > prDatasetBytes {
+				n = prDatasetBytes - read
+			}
+			if err := env.Kernel.Cache.Read(f, read, n); err != nil {
+				return err
+			}
+			read += n
+		}
+		end := off + chunk
+		if end > prEdgeBytes {
+			end = prEdgeBytes
+		}
+		for o := off; o < end; o += addr.PageSize {
+			if err := env.Touch(edges.Start.Add(o), true); err != nil {
+				return err
+			}
+		}
+	}
+	verts, err := env.MMap(prVertexBytes)
+	if err != nil {
+		return err
+	}
+	if err := env.Populate(verts); err != nil {
+		return err
+	}
+	p.edges, p.vertices = usedRegion(edges.Start, prEdgeBytes), regionOf(verts)
+	return nil
+}
+
+// Stream implements Workload.
+func (p *PageRank) Stream(rng *rand.Rand, n uint64) Stream {
+	seq := &seqWalker{r: p.edges}
+	hot := uint64(0)
+	return &funcStream{n: n, next: func() Access {
+		switch x := rng.Intn(1000); {
+		case x < 300: // edge stream
+			return Access{PC: pc(2, 0), VA: seq.next()}
+		case x < 318: // random vertex ranks (one big mapping)
+			return Access{PC: pc(2, 1), VA: p.vertices.pageVA(rng.Uint64()), Write: true}
+		default: // hot frontier/accumulator pages
+			hot++
+			return Access{PC: pc(2, 2), VA: p.vertices.pageVA(hot % 8), Write: true}
+		}
+	}}
+}
+
+// ----------------------------------------------------------- hashjoin
+
+// HashJoin models the hashjoin microbenchmark: a giant hash table built
+// then probed with uniformly random keys, from 10 worker threads. Its
+// footprint (102 GB in the paper) spans two NUMA nodes, so even CA
+// paging yields several mappings, and the random probes from single
+// instructions cross them — producing SpOT's worst mispredict rate
+// (Fig. 14: ~4 %).
+type HashJoin struct {
+	table region
+	buf   region
+}
+
+// NewHashJoin constructs the workload.
+func NewHashJoin() *HashJoin { return &HashJoin{} }
+
+// Name implements Workload.
+func (h *HashJoin) Name() string { return "hashjoin" }
+
+// FootprintBytes implements Workload.
+func (h *HashJoin) FootprintBytes() uint64 { return hjTableBytes + hjBufferBytes }
+
+// Setup implements Workload.
+func (h *HashJoin) Setup(env *Env, rng *rand.Rand) error {
+	table, err := env.MMapSlack(hjTableBytes, hashjoinSlack)
+	if err != nil {
+		return err
+	}
+	if err := env.PopulatePrefix(table, hjTableBytes); err != nil {
+		return err
+	}
+	buf, err := env.MMap(hjBufferBytes)
+	if err != nil {
+		return err
+	}
+	if err := env.Populate(buf); err != nil {
+		return err
+	}
+	h.table, h.buf = usedRegion(table.Start, hjTableBytes), regionOf(buf)
+	return nil
+}
+
+// Stream implements Workload: 10 interleaved "threads", each with its
+// own probe instruction, all uniformly random over the whole table.
+func (h *HashJoin) Stream(rng *rand.Rand, n uint64) Stream {
+	thread := 0
+	return &funcStream{n: n, next: func() Access {
+		thread = (thread + 1) % 10
+		switch x := rng.Intn(1000); {
+		case x < 7: // random probe, thread-specific PC
+			return Access{PC: pc(3, thread), VA: h.table.pageVA(rng.Uint64())}
+		case x < 10: // chained bucket walk (second dependent load)
+			return Access{PC: pc(3, 10+thread), VA: h.table.pageVA(rng.Uint64())}
+		default: // per-thread output buffer (hot)
+			return Access{PC: pc(3, 20+thread), VA: h.buf.pageVA(uint64(thread)), Write: true}
+		}
+	}}
+}
+
+// ------------------------------------------------------------ XSBench
+
+// XSBench models the Monte Carlo neutron-transport kernel: random
+// lookups into large read-only cross-section grids plus a binary search
+// over the unionized energy grid, from 10 threads.
+type XSBench struct {
+	grids     region
+	unionized region
+}
+
+// NewXSBench constructs the workload.
+func NewXSBench() *XSBench { return &XSBench{} }
+
+// Name implements Workload.
+func (x *XSBench) Name() string { return "xsbench" }
+
+// FootprintBytes implements Workload.
+func (x *XSBench) FootprintBytes() uint64 { return xsGridBytes + xsUnionizedBytes }
+
+// Setup implements Workload.
+func (x *XSBench) Setup(env *Env, rng *rand.Rand) error {
+	grids, err := env.MMapSlack(xsGridBytes, xsbenchSlack)
+	if err != nil {
+		return err
+	}
+	if err := env.PopulatePrefix(grids, xsGridBytes); err != nil {
+		return err
+	}
+	uni, err := env.MMap(xsUnionizedBytes)
+	if err != nil {
+		return err
+	}
+	if err := env.Populate(uni); err != nil {
+		return err
+	}
+	x.grids, x.unionized = usedRegion(grids.Start, xsGridBytes), regionOf(uni)
+	return nil
+}
+
+// Stream implements Workload.
+func (x *XSBench) Stream(rng *rand.Rand, n uint64) Stream {
+	return &funcStream{n: n, next: func() Access {
+		switch v := rng.Intn(1000); {
+		case v < 12: // random nuclide grid lookup
+			return Access{PC: pc(4, rng.Intn(10)), VA: x.grids.pageVA(rng.Uint64())}
+		case v < 14: // unionized grid binary-search probes
+			return Access{PC: pc(4, 20), VA: x.unionized.pageVA(rng.Uint64())}
+		default: // per-particle hot state
+			return Access{PC: pc(4, 30), VA: x.unionized.pageVA(uint64(v % 4)), Write: true}
+		}
+	}}
+}
+
+// ----------------------------------------------------------------- BT
+
+// BT models NAS BT class E: five large multi-dimensional arrays swept
+// along different dimensions; the z-dimension sweeps stride by whole
+// planes, missing the TLB on nearly every reference. Its footprint is
+// the largest and spans NUMA nodes, the case where CA paging loses some
+// contiguity at the node boundary (§VI-A).
+type BT struct {
+	arrays []region
+}
+
+// NewBT constructs the workload.
+func NewBT() *BT { return &BT{} }
+
+// Name implements Workload.
+func (b *BT) Name() string { return "bt" }
+
+// FootprintBytes implements Workload.
+func (b *BT) FootprintBytes() uint64 { return btArrays * btArrayBytes }
+
+// Setup implements Workload: the five arrays are allocated up front and
+// populated interleaved (BT's init loops sweep all arrays together), so
+// their faults compete for free blocks — the pattern that costs CA
+// paging contiguity when the footprint spills to the second NUMA node
+// (§VI-A).
+func (b *BT) Setup(env *Env, rng *rand.Rand) error {
+	b.arrays = nil
+	vmas := make([]*struct {
+		start addr.VirtAddr
+		size  uint64
+	}, 0, btArrays)
+	for i := 0; i < btArrays; i++ {
+		v, err := env.MMapSlack(btArrayBytes, btSlack)
+		if err != nil {
+			return err
+		}
+		b.arrays = append(b.arrays, usedRegion(v.Start, btArrayBytes))
+		vmas = append(vmas, &struct {
+			start addr.VirtAddr
+			size  uint64
+		}{v.Start, v.Size()})
+	}
+	const chunk = 16 * MiB
+	for off := uint64(0); off < btArrayBytes; off += chunk {
+		for _, v := range vmas {
+			end := off + chunk
+			if end > v.size {
+				end = v.size
+			}
+			for o := off; o < end; o += addr.PageSize {
+				if err := env.Touch(v.start.Add(o), true); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stream implements Workload.
+func (b *BT) Stream(rng *rand.Rand, n uint64) Stream {
+	// Plane stride for the z sweep: 4096 pages (16 MiB planes) — at or
+	// above the size of the fragments CA produces for BT, so the
+	// sweeping instructions hop mappings on almost every miss. Their
+	// offsets never gain confidence: SpOT abstains (no-prediction)
+	// instead of flushing the pipeline, the §IV-C behaviour.
+	const plane = 4096
+	zpos := make([]uint64, btArrays)
+	seqs := make([]*seqWalker, btArrays)
+	for i := range seqs {
+		seqs[i] = &seqWalker{r: b.arrays[i]}
+	}
+	return &funcStream{n: n, next: func() Access {
+		a := rng.Intn(btArrays)
+		switch x := rng.Intn(1000); {
+		case x < 6: // z sweep: plane-strided, misses constantly
+			zpos[a] += plane
+			return Access{PC: pc(5, a), VA: b.arrays[a].pageVA(zpos[a]), Write: true}
+		case x < 150: // x sweep: sequential
+			return Access{PC: pc(5, 10+a), VA: seqs[a].next()}
+		default: // stencil locals (hot)
+			return Access{PC: pc(5, 20+a), VA: b.arrays[a].pageVA(uint64(x % 4))}
+		}
+	}}
+}
+
+// All returns the five paper workloads in Table III order.
+func All() []Workload {
+	return []Workload{NewSVM(), NewPageRank(), NewHashJoin(), NewXSBench(), NewBT()}
+}
+
+// ByName returns the workload with the given name, or nil.
+func ByName(name string) Workload {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w
+		}
+	}
+	return nil
+}
