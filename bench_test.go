@@ -19,14 +19,20 @@ import (
 	"repro/internal/experiments"
 )
 
-// runDriver executes an experiment driver b.N times, logging the table
-// once.
-func runDriver(b *testing.B, fn func() (*experiments.Table, error)) *experiments.Table {
+// runDriver executes an experiment driver b.N times under default
+// parameters, logging the table once.
+func runDriver(b *testing.B, fn experiments.Driver) *experiments.Table {
+	return runDriverWith(b, experiments.DefaultParams(), fn)
+}
+
+// runDriverWith is runDriver under explicit parameters (reduced streams
+// for the heavy translation benchmarks).
+func runDriverWith(b *testing.B, p experiments.Params, fn experiments.Driver) *experiments.Table {
 	b.Helper()
 	var tab *experiments.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		tab, err = fn()
+		tab, err = fn(p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,13 +68,12 @@ func findRow(tab *experiments.Table, keys ...string) []string {
 	return nil
 }
 
-// reducedStream shrinks the measured phase for benchmark runs and
-// restores it afterwards.
-func reducedStream(b *testing.B, n uint64) {
-	b.Helper()
-	old := experiments.StreamLen
-	experiments.StreamLen = n
-	b.Cleanup(func() { experiments.StreamLen = old })
+// reducedStream returns default parameters with a shrunken measured
+// phase for the heavy translation benchmarks.
+func reducedStream(n uint64) experiments.Params {
+	p := experiments.DefaultParams()
+	p.StreamLen = n
+	return p
 }
 
 // --- paper figures and tables ---
@@ -91,8 +96,8 @@ func BenchmarkFig1cRangerTimeline(b *testing.B) {
 }
 
 func BenchmarkTable1RangesAnchors(b *testing.B) {
-	tab := runDriver(b, func() (*experiments.Table, error) {
-		return experiments.Table1For([]string{"svm", "pagerank", "hashjoin"})
+	tab := runDriver(b, func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Table1For(p, []string{"svm", "pagerank", "hashjoin"})
 	})
 	if row := findRow(tab, "pagerank"); row != nil {
 		b.ReportMetric(metric(row[3]), "ca-ranges")
@@ -101,8 +106,8 @@ func BenchmarkTable1RangesAnchors(b *testing.B) {
 }
 
 func BenchmarkFig7NativeContiguity(b *testing.B) {
-	tab := runDriver(b, func() (*experiments.Table, error) {
-		return experiments.Fig7For([]string{"svm", "pagerank", "bt"}, experiments.AllPolicies())
+	tab := runDriver(b, func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Fig7For(p, []string{"svm", "pagerank", "bt"}, experiments.AllPolicies())
 	})
 	if row := findRow(tab, "pagerank", "ca"); row != nil {
 		b.ReportMetric(metric(row[4]), "ca-maps99")
@@ -113,8 +118,8 @@ func BenchmarkFig7NativeContiguity(b *testing.B) {
 }
 
 func BenchmarkFig8Fragmentation(b *testing.B) {
-	tab := runDriver(b, func() (*experiments.Table, error) {
-		return experiments.Fig8Sweep(
+	tab := runDriver(b, func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Fig8Sweep(p,
 			[]float64{0, 0.3, 0.5},
 			[]string{"svm", "pagerank"},
 			[]experiments.PolicyName{experiments.PolicyCA, experiments.PolicyEager, experiments.PolicyIdeal})
@@ -142,8 +147,8 @@ func BenchmarkFig10MultiProgram(b *testing.B) {
 }
 
 func BenchmarkFig11SoftwareOverhead(b *testing.B) {
-	tab := runDriver(b, func() (*experiments.Table, error) {
-		return experiments.Fig11For([]string{"pagerank", "xsbench"})
+	tab := runDriver(b, func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Fig11For(p, []string{"pagerank", "xsbench"})
 	})
 	if row := findRow(tab, "pagerank"); row != nil {
 		b.ReportMetric(metric(row[3]), "ca-normalized")
@@ -152,8 +157,8 @@ func BenchmarkFig11SoftwareOverhead(b *testing.B) {
 }
 
 func BenchmarkTable5FaultLatency(b *testing.B) {
-	tab := runDriver(b, func() (*experiments.Table, error) {
-		return experiments.Table5For([]string{"pagerank", "xsbench"})
+	tab := runDriver(b, func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Table5For(p, []string{"pagerank", "xsbench"})
 	})
 	if row := findRow(tab, "ca"); row != nil {
 		b.ReportMetric(metric(row[2]), "ca-p99-us")
@@ -164,15 +169,15 @@ func BenchmarkTable5FaultLatency(b *testing.B) {
 }
 
 func BenchmarkTable6Bloat(b *testing.B) {
-	tab := runDriver(b, func() (*experiments.Table, error) {
-		return experiments.Table6For([]string{"svm", "hashjoin"})
+	tab := runDriver(b, func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Table6For(p, []string{"svm", "hashjoin"})
 	})
 	_ = tab
 }
 
 func BenchmarkFig12VirtContiguity(b *testing.B) {
-	tab := runDriver(b, func() (*experiments.Table, error) {
-		return experiments.Fig12For([]string{"svm", "pagerank", "hashjoin"})
+	tab := runDriver(b, func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Fig12For(p, []string{"svm", "pagerank", "hashjoin"})
 	})
 	if row := findRow(tab, "pagerank", "ca"); row != nil {
 		b.ReportMetric(metric(row[4]), "ca-2d-maps99")
@@ -180,9 +185,8 @@ func BenchmarkFig12VirtContiguity(b *testing.B) {
 }
 
 func BenchmarkFig13TranslationOverhead(b *testing.B) {
-	reducedStream(b, 400_000)
-	tab := runDriver(b, func() (*experiments.Table, error) {
-		return experiments.Fig13For([]string{"pagerank", "xsbench"})
+	tab := runDriverWith(b, reducedStream(400_000), func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Fig13For(p, []string{"pagerank", "xsbench"})
 	})
 	if row := findRow(tab, "pagerank"); row != nil {
 		b.ReportMetric(metric(row[4]), "vthp-overhead-pct")
@@ -191,9 +195,8 @@ func BenchmarkFig13TranslationOverhead(b *testing.B) {
 }
 
 func BenchmarkFig14SpotBreakdown(b *testing.B) {
-	reducedStream(b, 400_000)
-	tab := runDriver(b, func() (*experiments.Table, error) {
-		return experiments.Fig14For([]string{"pagerank", "hashjoin", "svm"})
+	tab := runDriverWith(b, reducedStream(400_000), func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Fig14For(p, []string{"pagerank", "hashjoin", "svm"})
 	})
 	if row := findRow(tab, "pagerank"); row != nil {
 		b.ReportMetric(metric(row[1]), "pagerank-correct-pct")
@@ -204,9 +207,8 @@ func BenchmarkFig14SpotBreakdown(b *testing.B) {
 }
 
 func BenchmarkTable7USL(b *testing.B) {
-	reducedStream(b, 300_000)
-	tab := runDriver(b, func() (*experiments.Table, error) {
-		return experiments.Table7For([]string{"pagerank", "hashjoin"})
+	tab := runDriverWith(b, reducedStream(300_000), func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.Table7For(p, []string{"pagerank", "hashjoin"})
 	})
 	if len(tab.Rows) > 0 {
 		b.ReportMetric(metric(tab.Rows[0][2]), "spectre-usl-pct")
@@ -241,16 +243,14 @@ func BenchmarkAblationOffsetBudget(b *testing.B) {
 }
 
 func BenchmarkAblationSpotConfidence(b *testing.B) {
-	reducedStream(b, 300_000)
-	tab := runDriver(b, experiments.AblationSpotConfidence)
+	tab := runDriverWith(b, reducedStream(300_000), experiments.AblationSpotConfidence)
 	if row := findRow(tab, "no confidence"); row != nil {
 		b.ReportMetric(metric(row[2]), "noconf-mispred-pct")
 	}
 }
 
 func BenchmarkAblationSpotGeometry(b *testing.B) {
-	reducedStream(b, 200_000)
-	tab := runDriver(b, experiments.AblationSpotGeometry)
+	tab := runDriverWith(b, reducedStream(200_000), experiments.AblationSpotGeometry)
 	if row := findRow(tab, "32x4"); row != nil {
 		b.ReportMetric(metric(row[1]), "32x4-correct-pct")
 	}
@@ -259,9 +259,8 @@ func BenchmarkAblationSpotGeometry(b *testing.B) {
 // --- extensions beyond the paper's figures ---
 
 func BenchmarkExtraShadowPaging(b *testing.B) {
-	reducedStream(b, 300_000)
-	tab := runDriver(b, func() (*experiments.Table, error) {
-		return experiments.ExtraShadowFor([]string{"pagerank"})
+	tab := runDriverWith(b, reducedStream(300_000), func(p experiments.Params) (*experiments.Table, error) {
+		return experiments.ExtraShadowFor(p, []string{"pagerank"})
 	})
 	if row := findRow(tab, "pagerank"); row != nil {
 		b.ReportMetric(metric(row[1]), "nested-overhead-pct")
@@ -274,8 +273,7 @@ func BenchmarkExtraReservation(b *testing.B) {
 }
 
 func BenchmarkExtraFiveLevel(b *testing.B) {
-	reducedStream(b, 300_000)
-	tab := runDriver(b, experiments.ExtraFiveLevel)
+	tab := runDriverWith(b, reducedStream(300_000), experiments.ExtraFiveLevel)
 	if row := findRow(tab, "5"); row != nil {
 		b.ReportMetric(metric(row[1]), "5level-vthp-pct")
 	}

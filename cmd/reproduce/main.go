@@ -6,23 +6,33 @@
 //
 //	reproduce -list
 //	reproduce -exp fig7
-//	reproduce -exp all [-stream 1000000]
+//	reproduce -exp all [-jobs 8] [-stream 1000000] [-settle 400] [-seed 1]
+//
+// Experiments are mutually independent and deterministic in their
+// parameters, so -exp all fans them out on a worker pool; tables print
+// in stable registry order with per-experiment wall-clock timing, and
+// -jobs 1 reproduces the sequential behaviour byte-for-byte.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"runtime"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/runner"
 )
 
 func main() {
 	var (
 		exp    = flag.String("exp", "", "experiment id (see -list) or 'all'")
 		list   = flag.Bool("list", false, "list experiment ids")
+		jobs   = flag.Int("jobs", runtime.NumCPU(), "max concurrent experiments (1 = sequential)")
 		stream = flag.Uint64("stream", 1_000_000, "measured-phase accesses for translation experiments")
+		settle = flag.Int("settle", 400, "daemon-settle epochs for contiguity experiments")
+		seed   = flag.Int64("seed", 1, "base workload seed")
 	)
 	flag.Parse()
 	if *list || *exp == "" {
@@ -35,24 +45,30 @@ func main() {
 		}
 		return
 	}
-	experiments.StreamLen = *stream
+	params := experiments.Params{
+		StreamLen:    *stream,
+		SettleEpochs: *settle,
+		Seed:         *seed,
+		Jobs:         *jobs,
+	}
 	ids := experiments.IDs()
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
-	for _, id := range ids {
-		driver, err := experiments.Lookup(id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	results, err := runner.Run(context.Background(), ids, params, *jobs)
+	if err != nil {
+		// Render whatever completed before the failure, then report it:
+		// a 21-experiment sweep should not discard 20 good tables.
+		for _, r := range results {
+			if r.Err == nil && r.Table != nil {
+				r.Table.Render(os.Stdout)
+			}
 		}
-		start := time.Now()
-		tab, err := driver()
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
-			os.Exit(1)
-		}
-		tab.Render(os.Stdout)
-		fmt.Printf("(%s took %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		r.Table.Render(os.Stdout)
+		fmt.Printf("(%s took %s)\n\n", r.ID, r.Elapsed.Round(1e6))
 	}
 }

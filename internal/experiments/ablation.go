@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/mem/addr"
 	"repro/internal/metrics"
-	"repro/internal/osim/vma"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -20,7 +19,7 @@ import (
 // two processes populating concurrently: first-fit keeps both
 // placements at the lowest free region, so they collide and interleave;
 // next-fit defers them past each other.
-func AblationPlacement() (*Table, error) {
+func AblationPlacement(p Params) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: next-fit vs first-fit placement (two concurrent SVMs)",
 		Header: []string{"placement", "maps99 A", "maps99 B"},
@@ -50,7 +49,7 @@ func AblationPlacement() (*Table, error) {
 // list concentrates fallback 4 KiB allocations: after interleaving CA
 // heap traffic with un-steered single-page churn, the machine keeps
 // larger free blocks when the list is sorted.
-func AblationSortedMaxOrder() (*Table, error) {
+func AblationSortedMaxOrder(p Params) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: sorted MAX_ORDER list (free contiguity after churn)",
 		Header: []string{"sorted", "largest free cluster (MiB)", ">64MiB free fraction"},
@@ -123,16 +122,15 @@ func AblationSortedMaxOrder() (*Table, error) {
 // machine: with a single offset, every sub-VMA re-placement forgets the
 // previous regions and faults near them fall back to arbitrary
 // allocation; with the paper's 64, sub-VMA regions are all tracked.
-func AblationOffsetBudget() (*Table, error) {
+func AblationOffsetBudget(p Params) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: per-VMA offset budget under fragmentation",
 		Header: []string{"budget", "maps99", "ca fallbacks"},
 		Notes:  []string{"the 64-offset FIFO keeps sub-VMA placements usable; 1 offset thrashes"},
 	}
-	defer func(old int) { vma.MaxOffsets = old }(vma.MaxOffsets)
 	for _, budget := range []int{1, 4, 64} {
-		vma.MaxOffsets = budget
 		k, _ := newNativeKernel(PolicyCA, true)
+		k.OffsetBudget = budget
 		workloads.Hog(k.Machine, 0.35, rand.New(rand.NewSource(7)))
 		env := workloads.NewNativeEnv(k, 0)
 		// A 192 MiB VMA populated in *random* 2 MiB-region order: under
@@ -162,7 +160,7 @@ func AblationOffsetBudget() (*Table, error) {
 
 // AblationSpotConfidence turns SpOT's two §IV-C protection mechanisms
 // off individually on the workload with the most irregular misses.
-func AblationSpotConfidence() (*Table, error) {
+func AblationSpotConfidence(p Params) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: SpOT confidence and contiguity-bit filter (svm)",
 		Header: []string{"variant", "correct", "mispredict", "no-prediction"},
@@ -183,10 +181,10 @@ func AblationSpotConfidence() (*Table, error) {
 		}
 		env := workloads.NewVirtEnv(vm, 0)
 		w := workloads.NewSVM()
-		if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(2)), StreamLen), v.cfg)
+		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), v.cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -204,7 +202,7 @@ func AblationSpotConfidence() (*Table, error) {
 // AblationSpotGeometry sweeps the prediction-table size on the
 // workload with the most missing instructions (hashjoin: ten probe and
 // ten chain PCs).
-func AblationSpotGeometry() (*Table, error) {
+func AblationSpotGeometry(p Params) (*Table, error) {
 	t := &Table{
 		Title:  "Ablation: SpOT prediction table geometry (hashjoin)",
 		Header: []string{"entries x ways", "correct", "no-prediction"},
@@ -219,10 +217,10 @@ func AblationSpotGeometry() (*Table, error) {
 		}
 		env := workloads.NewVirtEnv(vm, 0)
 		w := workloads.NewHashJoin()
-		if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(2)), StreamLen),
+		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen),
 			sim.Config{EnableSchemes: true, SpotEntries: geo.entries, SpotWays: geo.ways})
 		if err != nil {
 			return nil, err

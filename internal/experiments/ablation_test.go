@@ -3,7 +3,8 @@ package experiments
 import "testing"
 
 func TestAblationPlacementShape(t *testing.T) {
-	tab, err := AblationPlacement()
+	t.Parallel()
+	tab, err := AblationPlacement(DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -17,7 +18,8 @@ func TestAblationPlacementShape(t *testing.T) {
 }
 
 func TestAblationOffsetBudgetShape(t *testing.T) {
-	tab, err := AblationOffsetBudget()
+	t.Parallel()
+	tab, err := AblationOffsetBudget(DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,10 +31,10 @@ func TestAblationOffsetBudgetShape(t *testing.T) {
 }
 
 func TestAblationSpotConfidenceShape(t *testing.T) {
-	old := StreamLen
-	StreamLen = 200_000
-	defer func() { StreamLen = old }()
-	tab, err := AblationSpotConfidence()
+	t.Parallel()
+	p := DefaultParams()
+	p.StreamLen = 200_000
+	tab, err := AblationSpotConfidence(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,10 +48,10 @@ func TestAblationSpotConfidenceShape(t *testing.T) {
 }
 
 func TestAblationSpotGeometryShape(t *testing.T) {
-	old := StreamLen
-	StreamLen = 150_000
-	defer func() { StreamLen = old }()
-	tab, err := AblationSpotGeometry()
+	t.Parallel()
+	p := DefaultParams()
+	p.StreamLen = 150_000
+	tab, err := AblationSpotGeometry(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +67,8 @@ func TestAblationSpotGeometryShape(t *testing.T) {
 }
 
 func TestAblationSortedShape(t *testing.T) {
-	tab, err := AblationSortedMaxOrder()
+	t.Parallel()
+	tab, err := AblationSortedMaxOrder(DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}

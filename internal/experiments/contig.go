@@ -14,13 +14,15 @@ import (
 // Fig7 reproduces the native contiguity comparison (Fig. 7): for every
 // workload and policy, footprint coverage by the 32 and 128 largest
 // mappings and the number of mappings covering 99 %.
-func Fig7() (*Table, error) {
-	return Fig7For(workloadNames(), AllPolicies())
+func Fig7(p Params) (*Table, error) {
+	return Fig7For(p, workloadNames(), AllPolicies())
 }
 
 // Fig7For is the parameterized core of Fig7 (tests and benchmarks run
-// subsets).
-func Fig7For(names []string, policies []PolicyName) (*Table, error) {
+// subsets). The (workload, policy) cells are mutually independent —
+// each builds its own kernel — so they run on a bounded worker pool;
+// rows are assembled in grid order afterwards.
+func Fig7For(p Params, names []string, policies []PolicyName) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 7: native contiguity (no memory pressure)",
 		Header: []string{"workload", "policy", "cov32", "cov128", "maps99"},
@@ -29,18 +31,24 @@ func Fig7For(names []string, policies []PolicyName) (*Table, error) {
 			"the paper's BT-vs-CA boundary effect appears in the 2D dimension (Figs. 12/14)",
 		},
 	}
-	for _, name := range names {
-		for _, p := range policies {
-			st, _, env, err := runNativeContig(workloads.ByName(name), p, 1)
-			if err != nil {
-				return nil, err
-			}
-			env.Exit()
-			t.Rows = append(t.Rows, []string{
-				name, string(p), f3(st.Cov32), f3(st.Cov128), fmt.Sprint(st.Maps99),
-			})
+	rows := make([][]string, len(names)*len(policies))
+	err := forEach(len(rows), p.jobs(), func(i int) error {
+		name := names[i/len(policies)]
+		pol := policies[i%len(policies)]
+		st, _, env, err := runNativeContig(p, workloads.ByName(name), pol)
+		if err != nil {
+			return err
 		}
+		env.Exit()
+		rows[i] = []string{
+			name, string(pol), f3(st.Cov32), f3(st.Cov128), fmt.Sprint(st.Maps99),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	return t, nil
 }
 
@@ -48,13 +56,13 @@ func Fig7For(names []string, policies []PolicyName) (*Table, error) {
 // contiguity across the workloads (BT excluded: its footprint does not
 // fit the hogged machine, as in the paper) as hog pressure rises from
 // 0 % to 50 %. NUMA is off (single zone), matching §VI-A.
-func Fig8() (*Table, error) {
-	return Fig8Sweep([]float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
+func Fig8(p Params) (*Table, error) {
+	return Fig8Sweep(p, []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5},
 		[]string{"svm", "pagerank", "hashjoin", "xsbench"}, AllPolicies())
 }
 
 // Fig8Sweep is the parameterized core of Fig8.
-func Fig8Sweep(pressures []float64, names []string, policies []PolicyName) (*Table, error) {
+func Fig8Sweep(p Params, pressures []float64, names []string, policies []PolicyName) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 8: contiguity under memory pressure (geomean, NUMA off)",
 		Header: []string{"pressure", "policy", "cov32", "cov128", "maps99"},
@@ -63,25 +71,25 @@ func Fig8Sweep(pressures []float64, names []string, policies []PolicyName) (*Tab
 		},
 	}
 	for _, pressure := range pressures {
-		for _, p := range policies {
+		for _, pol := range policies {
 			var c32, c128, m99 []float64
 			for _, name := range names {
-				k, ds := newNativeKernel(p, true /* numaOff */)
+				k, ds := newNativeKernel(pol, true /* numaOff */)
 				workloads.Hog(k.Machine, pressure, rand.New(rand.NewSource(42)))
 				env := workloads.NewNativeEnv(k, 0)
 				env.Daemons = ds
 				w := workloads.ByName(name)
-				if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
-					return nil, fmt.Errorf("fig8 %s/%s@%.0f%%: %w", name, p, pressure*100, err)
+				if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
+					return nil, fmt.Errorf("fig8 %s/%s@%.0f%%: %w", name, pol, pressure*100, err)
 				}
-				settleDaemons(k, ds, 400)
+				settleDaemons(k, ds, p.SettleEpochs)
 				st := contigOf(metrics.FromPageTable(env.Proc.PT))
 				c32 = append(c32, st.Cov32)
 				c128 = append(c128, st.Cov128)
 				m99 = append(m99, float64(st.Maps99))
 			}
 			t.Rows = append(t.Rows, []string{
-				fmt.Sprintf("hog-%.0f%%", pressure*100), string(p),
+				fmt.Sprintf("hog-%.0f%%", pressure*100), string(pol),
 				f3(metrics.GeoMeanFrac(c32)), f3(metrics.GeoMeanFrac(c128)),
 				f1(metrics.GeoMean(m99)),
 			})
@@ -94,7 +102,7 @@ func Fig8Sweep(pressures []float64, names []string, policies []PolicyName) (*Tab
 // distribution of free block sizes after the benchmark suite ran to
 // completion under default vs CA paging. Size classes are scaled with
 // the machine (≤2 MiB, ≤16 MiB, ≤64 MiB, >64 MiB).
-func Fig9() (*Table, error) {
+func Fig9(p Params) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 9: free block size distribution after benchmark suite",
 		Header: []string{"policy", "<=2MiB", "<=16MiB", "<=64MiB", ">64MiB"},
@@ -102,8 +110,8 @@ func Fig9() (*Table, error) {
 			"paper shape: CA leaves most free memory in the largest class; default scatters it",
 		},
 	}
-	for _, p := range []PolicyName{PolicyTHP, PolicyCA} {
-		k, ds := newNativeKernel(p, false)
+	for _, pol := range []PolicyName{PolicyTHP, PolicyCA} {
+		k, ds := newNativeKernel(pol, false)
 		// The machine has aged before the suite runs (scattered
 		// long-lived pages); the ageing is released before measuring,
 		// so the remaining fragmentation is what each policy's own
@@ -115,8 +123,8 @@ func Fig9() (*Table, error) {
 		for _, w := range workloads.All() {
 			env := workloads.NewNativeEnv(k, 0)
 			env.Daemons = ds
-			if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
-				return nil, fmt.Errorf("fig9 %s/%s: %w", w.Name(), p, err)
+			if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
+				return nil, fmt.Errorf("fig9 %s/%s: %w", w.Name(), pol, err)
 			}
 			env.Exit()
 		}
@@ -127,7 +135,7 @@ func Fig9() (*Table, error) {
 			64 << 20 / addr.PageSize,
 		})
 		t.Rows = append(t.Rows, []string{
-			string(p), f3(frac[0]), f3(frac[1]), f3(frac[2]), f3(frac[3]),
+			string(pol), f3(frac[0]), f3(frac[1]), f3(frac[2]), f3(frac[3]),
 		})
 	}
 	return t, nil
@@ -166,7 +174,7 @@ func freeBuckets(k *osim.Kernel, bounds [3]uint64) [4]float64 {
 // Fig10 reproduces the multi-programmed study (Fig. 10): two SVM
 // instances populated in alternating bursts; 32-largest-mapping
 // coverage of each instance under CA, eager, and ranger.
-func Fig10() (*Table, error) {
+func Fig10(p Params) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 10: two concurrent SVM instances (32-mapping coverage)",
 		Header: []string{"policy", "instanceA cov32", "instanceB cov32", "maps99 A", "maps99 B"},
@@ -174,8 +182,8 @@ func Fig10() (*Table, error) {
 			"paper shape: CA keeps both instances covered (next-fit separation); ranger struggles to serve two processes",
 		},
 	}
-	for _, p := range []PolicyName{PolicyCA, PolicyEager, PolicyRanger} {
-		k, ds := newNativeKernel(p, false)
+	for _, pol := range []PolicyName{PolicyCA, PolicyEager, PolicyRanger} {
+		k, ds := newNativeKernel(pol, false)
 		envA := workloads.NewNativeEnv(k, 0)
 		envB := workloads.NewNativeEnv(k, 0)
 		envA.Daemons = ds
@@ -191,12 +199,12 @@ func Fig10() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		settleDaemons(k, ds, 400)
+		settleDaemons(k, ds, p.SettleEpochs)
 		// Re-measure after daemons (matters for ranger).
 		stA = contigOf(metrics.FromPageTable(envA.Proc.PT))
 		stB = contigOf(metrics.FromPageTable(envB.Proc.PT))
 		t.Rows = append(t.Rows, []string{
-			string(p), f3(stA.Cov32), f3(stB.Cov32),
+			string(pol), f3(stA.Cov32), f3(stB.Cov32),
 			fmt.Sprint(stA.Maps99), fmt.Sprint(stB.Maps99),
 		})
 	}
@@ -243,7 +251,7 @@ func interleavedSVMPair(k *osim.Kernel, envA, envB *workloads.Env, wA, wB *workl
 // fresh dataset file whose cache pages persist; under eager paging the
 // scattered cache progressively destroys the aligned blocks
 // pre-allocation needs, while CA paging sustains coverage.
-func Fig1b() (*Table, error) {
+func Fig1b(p Params) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 1b: PageRank 32-mapping coverage over 10 consecutive runs",
 		Header: []string{"run", "eager cov32", "ca cov32"},
@@ -252,8 +260,8 @@ func Fig1b() (*Table, error) {
 		},
 	}
 	results := map[PolicyName][]float64{}
-	for _, p := range []PolicyName{PolicyEager, PolicyCA} {
-		k, ds := newNativeKernel(p, false)
+	for _, pol := range []PolicyName{PolicyEager, PolicyCA} {
+		k, ds := newNativeKernel(pol, false)
 		for run := 0; run < 10; run++ {
 			// Between runs the machine ages: long-lived pages (page
 			// cache of other IO, daemon state) accumulate at scattered
@@ -266,11 +274,11 @@ func Fig1b() (*Table, error) {
 			env := workloads.NewNativeEnv(k, 0)
 			env.Daemons = ds
 			w := workloads.NewPageRank()
-			if err := w.Setup(env, rand.New(rand.NewSource(int64(run)))); err != nil {
-				return nil, fmt.Errorf("fig1b %s run %d: %w", p, run, err)
+			if err := w.Setup(env, rand.New(rand.NewSource(p.Seed+int64(run)-1))); err != nil {
+				return nil, fmt.Errorf("fig1b %s run %d: %w", pol, run, err)
 			}
 			st := contigOf(metrics.FromPageTable(env.Proc.PT))
-			results[p] = append(results[p], st.Cov32)
+			results[pol] = append(results[pol], st.Cov32)
 			env.Exit()
 			// Page-cache reclaim under pressure: each run's dataset
 			// cache would otherwise accumulate without bound.
@@ -289,7 +297,7 @@ func Fig1b() (*Table, error) {
 // XSBench's 32-largest coverage sampled during execution under CA
 // paging (instant, at allocation) vs Translation Ranger (delayed,
 // post-allocation migration).
-func Fig1c() (*Table, error) {
+func Fig1c(p Params) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 1c: XSBench 32-mapping coverage timeline (CA vs ranger)",
 		Header: []string{"progress", "ca cov32", "ranger cov32"},
@@ -300,8 +308,8 @@ func Fig1c() (*Table, error) {
 	type point struct{ ca, ranger float64 }
 	const samples = 12
 	series := make([]point, samples)
-	for _, p := range []PolicyName{PolicyCA, PolicyRanger} {
-		k, ds := newNativeKernel(p, false)
+	for _, pol := range []PolicyName{PolicyCA, PolicyRanger} {
+		k, ds := newNativeKernel(pol, false)
 		// An aged machine: on a pristine simulator even the default
 		// allocator lays memory out compactly, leaving Ranger nothing
 		// to defragment. Real machines' scrambled free lists are what
@@ -312,8 +320,8 @@ func Fig1c() (*Table, error) {
 		sampler := &coverageSampler{env: env}
 		env.Daemons = append(env.Daemons, sampler)
 		w := workloads.NewXSBench()
-		if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
-			return nil, fmt.Errorf("fig1c %s: %w", p, err)
+		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
+			return nil, fmt.Errorf("fig1c %s: %w", pol, err)
 		}
 		// Execution window: daemons keep working (ranger catches up).
 		for i := 0; i < samples; i++ {
@@ -322,7 +330,7 @@ func Fig1c() (*Table, error) {
 		}
 		pts := sampler.resample(samples)
 		for i := range series {
-			if p == PolicyCA {
+			if pol == PolicyCA {
 				series[i].ca = pts[i]
 			} else {
 				series[i].ranger = pts[i]

@@ -51,7 +51,13 @@ func (t *Table) Render(w io.Writer) {
 	line := func(cells []string) {
 		parts := make([]string, len(cells))
 		for i, c := range cells {
-			parts[i] = pad(c, widths[i])
+			// Ragged rows can be wider than the header; cells beyond
+			// the last header column render unpadded.
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
 		}
 		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
@@ -211,14 +217,14 @@ func settleDaemons(k *osim.Kernel, ds []workloads.Daemon, epochs int) {
 // runNativeContig runs one workload under one policy and returns its
 // final contiguity plus the kernel for further inspection. The process
 // is left alive; callers may exit it.
-func runNativeContig(w workloads.Workload, p PolicyName, seed int64) (ContigStats, *osim.Kernel, *workloads.Env, error) {
-	k, ds := newNativeKernel(p, false)
+func runNativeContig(p Params, w workloads.Workload, pol PolicyName) (ContigStats, *osim.Kernel, *workloads.Env, error) {
+	k, ds := newNativeKernel(pol, false)
 	env := workloads.NewNativeEnv(k, 0)
 	env.Daemons = ds
-	if err := w.Setup(env, rand.New(rand.NewSource(seed))); err != nil {
-		return ContigStats{}, nil, nil, fmt.Errorf("%s/%s: %w", w.Name(), p, err)
+	if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
+		return ContigStats{}, nil, nil, fmt.Errorf("%s/%s: %w", w.Name(), pol, err)
 	}
-	settleDaemons(k, ds, 400)
+	settleDaemons(k, ds, p.SettleEpochs)
 	ms := metrics.FromPageTable(env.Proc.PT)
 	return contigOf(ms), k, env, nil
 }

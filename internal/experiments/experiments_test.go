@@ -55,6 +55,7 @@ func cell(t *testing.T, tab *Table, col int, keys ...string) string {
 }
 
 func TestTableRender(t *testing.T) {
+	t.Parallel()
 	tab := &Table{
 		Title:  "demo",
 		Header: []string{"a", "bb"},
@@ -72,6 +73,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestRegistry(t *testing.T) {
+	t.Parallel()
 	if len(IDs()) != 22 {
 		t.Fatalf("registered experiments = %d, want 22", len(IDs()))
 	}
@@ -84,7 +86,8 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestFig7ShapeSubset(t *testing.T) {
-	tab, err := Fig7For([]string{"pagerank"}, []PolicyName{PolicyTHP, PolicyCA, PolicyEager, PolicyIdeal})
+	t.Parallel()
+	tab, err := Fig7For(DefaultParams(), []string{"pagerank"}, []PolicyName{PolicyTHP, PolicyCA, PolicyEager, PolicyIdeal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +109,8 @@ func TestFig7ShapeSubset(t *testing.T) {
 }
 
 func TestFig8ShapeSubset(t *testing.T) {
-	tab, err := Fig8Sweep([]float64{0.5}, []string{"pagerank"},
+	t.Parallel()
+	tab, err := Fig8Sweep(DefaultParams(), []float64{0.5}, []string{"pagerank"},
 		[]PolicyName{PolicyCA, PolicyEager, PolicyIdeal})
 	if err != nil {
 		t.Fatal(err)
@@ -125,7 +129,8 @@ func TestFig8ShapeSubset(t *testing.T) {
 }
 
 func TestTable5Shape(t *testing.T) {
-	tab, err := Table5For([]string{"pagerank"})
+	t.Parallel()
+	tab, err := Table5For(DefaultParams(), []string{"pagerank"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +157,8 @@ func TestTable5Shape(t *testing.T) {
 }
 
 func TestTable6Shape(t *testing.T) {
-	tab, err := Table6For([]string{"hashjoin"})
+	t.Parallel()
+	tab, err := Table6For(DefaultParams(), []string{"hashjoin"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +181,8 @@ func TestTable6Shape(t *testing.T) {
 }
 
 func TestTable1ShapeSubset(t *testing.T) {
-	tab, err := Table1For([]string{"pagerank"})
+	t.Parallel()
+	tab, err := Table1For(DefaultParams(), []string{"pagerank"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,10 +199,10 @@ func TestTable1ShapeSubset(t *testing.T) {
 }
 
 func TestFig13And14ShapeSubset(t *testing.T) {
-	old := StreamLen
-	StreamLen = 300_000
-	defer func() { StreamLen = old }()
-	tab, err := Fig13For([]string{"pagerank"})
+	t.Parallel()
+	p := DefaultParams()
+	p.StreamLen = 300_000
+	tab, err := Fig13For(p, []string{"pagerank"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +230,7 @@ func TestFig13And14ShapeSubset(t *testing.T) {
 		t.Fatalf("DS overhead %f should be ~0", ods)
 	}
 
-	tab14, err := Fig14For([]string{"pagerank"})
+	tab14, err := Fig14For(p, []string{"pagerank"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,10 +245,10 @@ func TestFig13And14ShapeSubset(t *testing.T) {
 }
 
 func TestTable7Shape(t *testing.T) {
-	old := StreamLen
-	StreamLen = 200_000
-	defer func() { StreamLen = old }()
-	tab, err := Table7For([]string{"pagerank", "hashjoin"})
+	t.Parallel()
+	p := DefaultParams()
+	p.StreamLen = 200_000
+	tab, err := Table7For(p, []string{"pagerank", "hashjoin"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +261,8 @@ func TestTable7Shape(t *testing.T) {
 }
 
 func TestFig9Shape(t *testing.T) {
-	tab, err := Fig9()
+	t.Parallel()
+	tab, err := Fig9(DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +275,8 @@ func TestFig9Shape(t *testing.T) {
 }
 
 func TestFig1bShape(t *testing.T) {
-	tab, err := Fig1b()
+	t.Parallel()
+	tab, err := Fig1b(DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +297,8 @@ func TestFig1bShape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	tab, err := Fig10()
+	t.Parallel()
+	tab, err := Fig10(DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,5 +306,25 @@ func TestFig10Shape(t *testing.T) {
 	caB := parseF(t, cell(t, tab, 2, "ca"))
 	if caA < 0.9 || caB < 0.9 {
 		t.Fatalf("CA multi-program coverage = %f/%f, want ~1", caA, caB)
+	}
+}
+
+// TestTableRenderRaggedRow pins the Render fix for rows wider than the
+// header: the width pass always guarded i < len(widths), but the line
+// renderer did not and panicked with index out of range.
+func TestTableRenderRaggedRow(t *testing.T) {
+	t.Parallel()
+	tab := &Table{
+		Title:  "ragged",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2", "extra", "more"}, {"3"}},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf) // must not panic
+	out := buf.String()
+	for _, want := range []string{"extra", "more", "3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ragged render lost cell %q:\n%s", want, out)
+		}
 	}
 }

@@ -16,7 +16,7 @@ import (
 // leaves as future work: two processes faulting strictly alternately
 // (one huge page per time slice — the pathological schedule for
 // best-effort placement). Reservation shields each placement's extent.
-func ExtraReservation() (*Table, error) {
+func ExtraReservation(p Params) (*Table, error) {
 	t := &Table{
 		Title:  "Extra: CA reservation extension (§III-D) under strict alternation",
 		Header: []string{"configuration", "maps99 A", "maps99 B"},
@@ -67,7 +67,7 @@ func ExtraReservation() (*Table, error) {
 // ExtraFiveLevel quantifies the introduction's motivation: 5-level
 // (LA57) page tables deepen every walk, and nested paging multiplies
 // the depth — (5+1)×(5+1)−1 = 35 references versus 24.
-func ExtraFiveLevel() (*Table, error) {
+func ExtraFiveLevel(p Params) (*Table, error) {
 	t := &Table{
 		Title:  "Extra: 4-level vs 5-level paging overhead (pagerank, CA in both dims)",
 		Header: []string{"levels", "vTHP overhead", "SpOT overhead"},
@@ -85,10 +85,10 @@ func ExtraFiveLevel() (*Table, error) {
 		hostK.PageTableLevels = levels
 		env := workloads.NewVirtEnv(vm, 0)
 		w := workloads.NewPageRank()
-		if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(2)), StreamLen), sim.Config{EnableSchemes: true})
+		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: true})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,48 @@
+package experiments
+
+import "sync"
+
+// forEach runs fn(i) for every i in [0, n) on at most jobs concurrent
+// goroutines and returns the first error (by index order, so failures
+// are reported deterministically). Each fn call must write only to
+// index-owned slots; callers then assemble rows in index order, which
+// keeps tables byte-identical to a sequential run.
+func forEach(n, jobs int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if jobs > n {
+		jobs = n
+	}
+	if jobs <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

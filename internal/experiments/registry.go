@@ -5,8 +5,11 @@ import (
 	"sort"
 )
 
-// Driver runs one experiment and returns its table.
-type Driver func() (*Table, error)
+// Driver runs one experiment under the given parameters and returns
+// its table. Drivers are pure with respect to Params: identical Params
+// produce identical tables, and distinct drivers share no mutable
+// state, so any set of them may run concurrently.
+type Driver func(Params) (*Table, error)
 
 // registry maps experiment IDs to drivers, in the paper's numbering.
 var registry = map[string]Driver{

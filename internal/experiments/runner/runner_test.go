@@ -1,0 +1,119 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// testParams keeps the determinism sweep fast: a reduced but
+// representative stream and settle window, identical for both runs.
+func testParams() experiments.Params {
+	return experiments.Params{StreamLen: 100_000, SettleEpochs: 100, Seed: 1}
+}
+
+// render flattens a result set to the bytes cmd/reproduce would print
+// (tables only — timing lines are wall-clock and excluded on purpose).
+func render(t *testing.T, results []Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.ID, r.Err)
+		}
+		r.Table.Render(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelMatchesSequential is the determinism gate of the issue:
+// a parallel sweep must produce byte-identical tables, in identical
+// order, to a strictly sequential one. The ID set mixes contiguity,
+// translation, and ablation drivers, including the two whose knobs
+// (offset budget, eager rotor) used to be package globals.
+func TestParallelMatchesSequential(t *testing.T) {
+	ids := []string{
+		"fig9", "fig10", "table5", "ablation-placement",
+		"ablation-offsets", "fig14", "extra-5level",
+	}
+	p := testParams()
+	seq, err := Run(context.Background(), ids, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(context.Background(), ids, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqOut, parOut := render(t, seq), render(t, par)
+	if !bytes.Equal(seqOut, parOut) {
+		t.Fatalf("parallel output differs from sequential:\n--- sequential ---\n%s\n--- parallel ---\n%s", seqOut, parOut)
+	}
+	for i, r := range par {
+		if r.ID != ids[i] {
+			t.Fatalf("result %d is %q, want %q (registry order lost)", i, r.ID, ids[i])
+		}
+		if r.Elapsed <= 0 {
+			t.Fatalf("%s: missing wall-clock timing", r.ID)
+		}
+	}
+}
+
+// TestRepeatedRunsIdentical guards against hidden shared state *within*
+// one driver set: running the same sweep twice in one process must not
+// drift (the old eager rotor global accumulated across runs). fig1b is
+// included because its reclaim path once freed page-cache frames in map
+// order, scrambling the buddy lists differently every run.
+func TestRepeatedRunsIdentical(t *testing.T) {
+	ids := []string{"fig10", "table5", "fig1b"}
+	p := testParams()
+	first, err := Run(context.Background(), ids, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(context.Background(), ids, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := render(t, first), render(t, second); !bytes.Equal(a, b) {
+		t.Fatalf("same Params drifted between runs:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+func TestUnknownIDFailsFast(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(context.Background(), []string{"fig9", "nope"}, testParams(), 2); err == nil {
+		t.Fatal("unknown id should fail before any driver runs")
+	}
+}
+
+func TestCancelledContext(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := Run(ctx, []string{"fig9", "fig10"}, testParams(), 2)
+	if err == nil {
+		t.Fatal("cancelled context should surface an error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("want one result slot per id, got %d", len(results))
+	}
+}
+
+func TestDefaultJobs(t *testing.T) {
+	t.Parallel()
+	// jobs <= 0 must resolve to a sane pool, not hang or panic.
+	results, err := Run(context.Background(), []string{"ablation-placement"}, testParams(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Table == nil || results[0].Elapsed <= 0 {
+		t.Fatal("driver did not run")
+	}
+}

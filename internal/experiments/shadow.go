@@ -15,12 +15,12 @@ import (
 // native latency, but every composite-entry fill is a hypervisor exit —
 // the trade-off agile paging navigates. This is not a paper figure; it
 // validates the claim on our substrate.
-func ExtraShadow() (*Table, error) {
-	return ExtraShadowFor([]string{"pagerank", "xsbench", "hashjoin"})
+func ExtraShadow(p Params) (*Table, error) {
+	return ExtraShadowFor(p, []string{"pagerank", "xsbench", "hashjoin"})
 }
 
 // ExtraShadowFor is the parameterized core of ExtraShadow.
-func ExtraShadowFor(names []string) (*Table, error) {
+func ExtraShadowFor(p Params, names []string) (*Table, error) {
 	t := &Table{
 		Title:  "Extra: nested vs shadow paging overhead (CA in both dimensions)",
 		Header: []string{"workload", "nested", "shadow", "shadow syncs"},
@@ -38,10 +38,10 @@ func ExtraShadowFor(names []string) (*Table, error) {
 				return nil, err
 			}
 			env := workloads.NewVirtEnv(vm, 0)
-			if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+			if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 				return nil, fmt.Errorf("shadow %s: %w", name, err)
 			}
-			res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(2)), StreamLen),
+			res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen),
 				sim.Config{ShadowPaging: shadow})
 			if err != nil {
 				return nil, err

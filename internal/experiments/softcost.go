@@ -15,10 +15,10 @@ import (
 // memory-management configuration, isolating the kernel-side costs
 // (fault service, zeroing, promotions, migrations, shootdowns) with no
 // gain from novel translation hardware.
-func Fig11() (*Table, error) { return Fig11For(workloadNames()) }
+func Fig11(p Params) (*Table, error) { return Fig11For(p, workloadNames()) }
 
 // Fig11For is the parameterized core of Fig11.
-func Fig11For(names []string) (*Table, error) {
+func Fig11For(p Params, names []string) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 11: software runtime overhead normalized to THP",
 		Header: []string{"workload", "thp", "ingens", "ca", "eager", "ranger"},
@@ -30,12 +30,12 @@ func Fig11For(names []string) (*Table, error) {
 	for _, name := range names {
 		w := workloads.ByName(name)
 		kernelNs := map[PolicyName]uint64{}
-		for _, p := range policies {
-			k, ds := newNativeKernel(p, false)
+		for _, pol := range policies {
+			k, ds := newNativeKernel(pol, false)
 			env := workloads.NewNativeEnv(k, 0)
 			env.Daemons = ds
-			if err := workloads.ByName(w.Name()).Setup(env, rand.New(rand.NewSource(1))); err != nil {
-				return nil, fmt.Errorf("fig11 %s/%s: %w", w.Name(), p, err)
+			if err := workloads.ByName(w.Name()).Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
+				return nil, fmt.Errorf("fig11 %s/%s: %w", w.Name(), pol, err)
 			}
 			clockAfterSetup := k.Clock
 			// Execution window: daemons (ranger migrations, Ingens
@@ -52,13 +52,13 @@ func Fig11For(names []string) (*Table, error) {
 			} else {
 				daemonWork = 0
 			}
-			kernelNs[p] = clockAfterSetup + daemonWork
+			kernelNs[pol] = clockAfterSetup + daemonWork
 			env.Exit()
 		}
 		row := []string{w.Name()}
-		for _, p := range policies {
+		for _, pol := range policies {
 			row = append(row, f3(perfmodel.NormalizedRuntime(
-				w.FootprintBytes(), kernelNs[p], kernelNs[PolicyTHP])))
+				w.FootprintBytes(), kernelNs[pol], kernelNs[PolicyTHP])))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -68,10 +68,14 @@ func Fig11For(names []string) (*Table, error) {
 // Table5 reproduces the fault-latency comparison (Table V): total page
 // faults and 99th-percentile fault latency (µs) across the whole suite
 // for THP, CA, and eager paging.
-func Table5() (*Table, error) { return Table5For(workloadNames()) }
+func Table5(p Params) (*Table, error) { return Table5For(p, workloadNames()) }
 
-// Table5For is the parameterized core of Table5.
-func Table5For(names []string) (*Table, error) {
+// Table5For is the parameterized core of Table5. Every (policy,
+// workload) cell runs on its own kernel, so the whole grid fans out on
+// a worker pool; per-policy aggregation (fault sums and the latency
+// percentile) is order-insensitive, so the table is identical to a
+// sequential run.
+func Table5For(p Params, names []string) (*Table, error) {
 	t := &Table{
 		Title:  "Table V: page faults and 99th percentile latency",
 		Header: []string{"policy", "total faults", "p99 latency (us)"},
@@ -80,32 +84,48 @@ func Table5For(names []string) (*Table, error) {
 			"eager: orders-of-magnitude higher tail latency, far fewer faults",
 		},
 	}
-	for _, p := range []PolicyName{PolicyTHP, PolicyCA, PolicyEager} {
+	policies := []PolicyName{PolicyTHP, PolicyCA, PolicyEager}
+	type cellResult struct {
+		faults uint64
+		lats   []uint64
+	}
+	cells := make([]cellResult, len(policies)*len(names))
+	err := forEach(len(cells), p.jobs(), func(i int) error {
+		pol := policies[i/len(names)]
+		name := names[i%len(names)]
+		k, ds := newNativeKernel(pol, false)
+		env := workloads.NewNativeEnv(k, 0)
+		env.Daemons = ds
+		if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
+			return fmt.Errorf("table5 %s/%s: %w", name, pol, err)
+		}
+		cells[i] = cellResult{faults: k.Stats.TotalFaults(), lats: k.Stats.FaultLatencies}
+		env.Exit()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pol := range policies {
 		var faults uint64
 		var lats []uint64
-		for _, name := range names {
-			k, ds := newNativeKernel(p, false)
-			env := workloads.NewNativeEnv(k, 0)
-			env.Daemons = ds
-			if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(1))); err != nil {
-				return nil, fmt.Errorf("table5 %s/%s: %w", name, p, err)
-			}
-			faults += k.Stats.TotalFaults()
-			lats = append(lats, k.Stats.FaultLatencies...)
-			env.Exit()
+		for ni := range names {
+			c := cells[pi*len(names)+ni]
+			faults += c.faults
+			lats = append(lats, c.lats...)
 		}
 		p99us := float64(metrics.Percentile(lats, 0.99)) / 1000
-		t.Rows = append(t.Rows, []string{string(p), fmt.Sprint(faults), f1(p99us)})
+		t.Rows = append(t.Rows, []string{string(pol), fmt.Sprint(faults), f1(p99us)})
 	}
 	return t, nil
 }
 
 // Table6 reproduces the memory-bloat comparison (Table VI): extra
 // memory allocated versus 4 KiB demand paging, per workload and policy.
-func Table6() (*Table, error) { return Table6For(workloadNames()) }
+func Table6(p Params) (*Table, error) { return Table6For(p, workloadNames()) }
 
 // Table6For is the parameterized core of Table6.
-func Table6For(names []string) (*Table, error) {
+func Table6For(p Params, names []string) (*Table, error) {
 	t := &Table{
 		Title:  "Table VI: bloat vs 4K demand paging [MiB (overhead %)]",
 		Header: []string{"policy", "svm", "pagerank", "hashjoin", "xsbench", "bt"},
@@ -113,14 +133,14 @@ func Table6For(names []string) (*Table, error) {
 			"paper shape: THP ~ CA (MBs); Ingens lower; eager GBs (pre-allocates unused memory)",
 		},
 	}
-	for _, p := range []PolicyName{PolicyTHP, PolicyIngens, PolicyCA, PolicyEager} {
-		row := []string{string(p)}
+	for _, pol := range []PolicyName{PolicyTHP, PolicyIngens, PolicyCA, PolicyEager} {
+		row := []string{string(pol)}
 		for _, name := range names {
-			k, ds := newNativeKernel(p, false)
+			k, ds := newNativeKernel(pol, false)
 			env := workloads.NewNativeEnv(k, 0)
 			env.Daemons = ds
-			if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(1))); err != nil {
-				return nil, fmt.Errorf("table6 %s/%s: %w", name, p, err)
+			if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
+				return nil, fmt.Errorf("table6 %s/%s: %w", name, pol, err)
 			}
 			settleDaemons(k, ds, 30)
 			mapped, touched := residency(env)

@@ -11,10 +11,6 @@ import (
 	"repro/internal/workloads"
 )
 
-// StreamLen is the measured-phase length used by the translation
-// experiments. Override (e.g. in benchmarks) for faster runs.
-var StreamLen = uint64(1_000_000)
-
 // translationRun holds every measurement Fig. 13/14 and Table VII need
 // for one workload.
 type translationRun struct {
@@ -25,7 +21,7 @@ type translationRun struct {
 }
 
 // runTranslation measures one workload under all Fig. 13 configurations.
-func runTranslation(name string) (translationRun, error) {
+func runTranslation(p Params, name string) (translationRun, error) {
 	out := translationRun{name: name}
 	run := func(virtual bool, thp bool, policy PolicyName, schemes bool) (sim.Result, error) {
 		var env *workloads.Env
@@ -43,10 +39,10 @@ func runTranslation(name string) (translationRun, error) {
 			env = workloads.NewNativeEnv(k, 0)
 		}
 		w := workloads.ByName(name)
-		if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return sim.Result{}, fmt.Errorf("%s setup: %w", name, err)
 		}
-		return sim.Run(env, w.Stream(rand.New(rand.NewSource(2)), StreamLen), sim.Config{EnableSchemes: schemes})
+		return sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: schemes})
 	}
 	var err error
 	if out.native4K, err = run(false, false, PolicyTHP, false); err != nil {
@@ -71,10 +67,10 @@ func runTranslation(name string) (translationRun, error) {
 // execution-time overhead of data-TLB misses for native and virtualized
 // base/huge pages, and for SpOT, vRMM, and Direct Segments on top of
 // CA paging in both dimensions.
-func Fig13() (*Table, error) { return Fig13For(workloadNames()) }
+func Fig13(p Params) (*Table, error) { return Fig13For(p, workloadNames()) }
 
 // Fig13For is the parameterized core of Fig13.
-func Fig13For(names []string) (*Table, error) {
+func Fig13For(p Params, names []string) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 13: execution time overhead of TLB misses (virtualized focus)",
 		Header: []string{"workload", "4K", "THP", "4K+4K", "THP+THP", "SpOT", "vRMM", "DS"},
@@ -84,7 +80,7 @@ func Fig13For(names []string) (*Table, error) {
 	}
 	var thpN, vthpN, spotN, rmmN, dsN []float64
 	for _, name := range names {
-		r, err := runTranslation(name)
+		r, err := runTranslation(p, name)
 		if err != nil {
 			return nil, err
 		}
@@ -127,10 +123,10 @@ func meanF(xs []float64) float64 {
 // Fig14 reproduces the SpOT outcome breakdown (Fig. 14): the fraction
 // of last-level TLB misses predicted correctly, mispredicted, and not
 // predicted, in virtualized execution with CA paging.
-func Fig14() (*Table, error) { return Fig14For(workloadNames()) }
+func Fig14(p Params) (*Table, error) { return Fig14For(p, workloadNames()) }
 
 // Fig14For is the parameterized core of Fig14.
-func Fig14For(names []string) (*Table, error) {
+func Fig14For(p Params, names []string) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 14: SpOT prediction outcome breakdown (virtualized, CA paging)",
 		Header: []string{"workload", "correct", "mispredict", "no-prediction"},
@@ -146,10 +142,10 @@ func Fig14For(names []string) (*Table, error) {
 		}
 		env := workloads.NewVirtEnv(vm, 0)
 		wl := workloads.ByName(name)
-		if err := wl.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+		if err := wl.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return nil, fmt.Errorf("fig14 %s: %w", name, err)
 		}
-		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(2)), StreamLen), sim.Config{EnableSchemes: true})
+		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: true})
 		if err != nil {
 			return nil, err
 		}
@@ -170,10 +166,10 @@ func Fig14For(names []string) (*Table, error) {
 // Table7 reproduces the unsafe-load estimation (Table VII): geometric
 // means of branch and DTLB-miss densities and the resulting Spectre vs
 // SpOT USL percentages.
-func Table7() (*Table, error) { return Table7For(workloadNames()) }
+func Table7(p Params) (*Table, error) { return Table7For(p, workloadNames()) }
 
 // Table7For is the parameterized core of Table7.
-func Table7For(names []string) (*Table, error) {
+func Table7For(p Params, names []string) (*Table, error) {
 	t := &Table{
 		Title:  "Table VII: estimation of unsafe load instructions (USL)",
 		Header: []string{"branches/instr", "dtlb misses/instr", "spectre USL/instr", "spot USL/instr"},
@@ -191,10 +187,10 @@ func Table7For(names []string) (*Table, error) {
 		}
 		env := workloads.NewVirtEnv(vm, 0)
 		wl := workloads.ByName(name)
-		if err := wl.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+		if err := wl.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return nil, fmt.Errorf("table7 %s: %w", name, err)
 		}
-		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(2)), StreamLen), sim.Config{})
+		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{})
 		if err != nil {
 			return nil, err
 		}

@@ -14,10 +14,12 @@ import (
 // 2nd-dimension gPA→hPA mappings persist and age), with the same policy
 // applied in guest and host independently. Reported: full 2D (gVA→hPA)
 // coverage and mapping counts per workload.
-func Fig12() (*Table, error) { return Fig12For(workloadNames()) }
+func Fig12(p Params) (*Table, error) { return Fig12For(p, workloadNames()) }
 
-// Fig12For is the parameterized core of Fig12.
-func Fig12For(names []string) (*Table, error) {
+// Fig12For is the parameterized core of Fig12. Workloads within one
+// policy share a VM and must stay sequential (ageing is the point);
+// the three policies are independent and run concurrently.
+func Fig12For(p Params, names []string) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 12: virtualized 2D contiguity (consecutive runs, no VM reboot)",
 		Header: []string{"workload", "policy", "cov32", "cov128", "maps99"},
@@ -26,22 +28,32 @@ func Fig12For(names []string) (*Table, error) {
 			"32-coverage slightly below native (independent best-effort dimensions)",
 		},
 	}
-	for _, p := range []PolicyName{PolicyTHP, PolicyCA, PolicyEager} {
-		vm, _, err := newVM(p, p)
+	policies := []PolicyName{PolicyTHP, PolicyCA, PolicyEager}
+	rows := make([][][]string, len(policies))
+	err := forEach(len(policies), p.jobs(), func(i int) error {
+		pol := policies[i]
+		vm, _, err := newVM(pol, pol)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for _, name := range names {
 			env := workloads.NewVirtEnv(vm, 0)
-			if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(1))); err != nil {
-				return nil, fmt.Errorf("fig12 %s/%s: %w", name, p, err)
+			if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
+				return fmt.Errorf("fig12 %s/%s: %w", name, pol, err)
 			}
 			st := contigOf(vm.Mappings2D(env.Proc))
-			t.Rows = append(t.Rows, []string{
-				name, string(p), f3(st.Cov32), f3(st.Cov128), fmt.Sprint(st.Maps99),
+			rows[i] = append(rows[i], []string{
+				name, string(pol), f3(st.Cov32), f3(st.Cov128), fmt.Sprint(st.Maps99),
 			})
 			env.Exit() // gPA→hPA persists; the next workload ages the VM
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, block := range rows {
+		t.Rows = append(t.Rows, block...)
 	}
 	return t, nil
 }
@@ -49,10 +61,10 @@ func Fig12For(names []string) (*Table, error) {
 // Table1 reproduces Table I: the number of vRMM ranges and vHC anchor
 // entries needed to map 99 % of each workload's footprint in
 // virtualized execution, under default THP and CA paging.
-func Table1() (*Table, error) { return Table1For(workloadNames()) }
+func Table1(p Params) (*Table, error) { return Table1For(p, workloadNames()) }
 
 // Table1For is the parameterized core of Table1.
-func Table1For(names []string) (*Table, error) {
+func Table1For(p Params, names []string) (*Table, error) {
 	t := &Table{
 		Title:  "Table I: ranges (vRMM) and anchor entries (vHC) for 99% of footprint",
 		Header: []string{"workload", "thp ranges", "thp vHC", "ca ranges", "ca vHC"},
@@ -63,15 +75,15 @@ func Table1For(names []string) (*Table, error) {
 	}
 	type counts struct{ ranges, anchors int }
 	results := map[string]map[PolicyName]counts{}
-	for _, p := range []PolicyName{PolicyTHP, PolicyCA} {
-		vm, _, err := newVM(p, p)
+	for _, pol := range []PolicyName{PolicyTHP, PolicyCA} {
+		vm, _, err := newVM(pol, pol)
 		if err != nil {
 			return nil, err
 		}
 		for _, name := range names {
 			env := workloads.NewVirtEnv(vm, 0)
-			if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(1))); err != nil {
-				return nil, fmt.Errorf("table1 %s/%s: %w", name, p, err)
+			if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
+				return nil, fmt.Errorf("table1 %s/%s: %w", name, pol, err)
 			}
 			ms := vm.Mappings2D(env.Proc)
 			c := counts{
@@ -81,7 +93,7 @@ func Table1For(names []string) (*Table, error) {
 			if results[name] == nil {
 				results[name] = map[PolicyName]counts{}
 			}
-			results[name][p] = c
+			results[name][pol] = c
 			env.Exit()
 		}
 	}

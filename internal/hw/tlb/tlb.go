@@ -27,20 +27,24 @@ type TLB struct {
 }
 
 // New creates a TLB with the given total entry count and associativity.
-// entries must be a multiple of ways with a power-of-two set count.
+// entries must be a multiple of ways. A non-power-of-two set count is
+// rounded down to a power of two so index masking works, and the
+// associativity is raised to compensate, so the structure never holds
+// fewer entries than requested (it used to silently shrink: New(48, 4)
+// built 32 entries). Entries reports the effective geometry.
 func New(entries, ways int) *TLB {
 	nsets := entries / ways
 	if nsets <= 0 || entries%ways != 0 {
 		panic("tlb: bad geometry")
 	}
 	if nsets&(nsets-1) != 0 {
-		// Round down to a power of two so masking works; the paper's
-		// 1536/6 = 256 sets is already a power of two.
+		// The paper's 1536/6 = 256 sets is already a power of two.
 		n := 1
 		for n*2 <= nsets {
 			n *= 2
 		}
 		nsets = n
+		ways = (entries + nsets - 1) / nsets
 	}
 	sets := make([][]entry, nsets)
 	for i := range sets {
@@ -48,6 +52,10 @@ func New(entries, ways int) *TLB {
 	}
 	return &TLB{sets: sets, nsets: uint64(nsets), ways: ways}
 }
+
+// Entries returns the effective capacity (sets x ways), which is at
+// least the entry count requested from New.
+func (t *TLB) Entries() int { return int(t.nsets) * t.ways }
 
 // Lookups returns the number of lookups performed.
 func (t *TLB) Lookups() uint64 { return t.lookups }

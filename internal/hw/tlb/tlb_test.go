@@ -110,9 +110,21 @@ func TestGeometryRounding(t *testing.T) {
 	// 6-way 1536 entries -> 256 sets (power of two) must not panic.
 	New(1536, 6)
 	// Non-power-of-two set count rounds down.
-	tl := New(48, 4) // 12 sets -> rounds to 8
+	tl := New(48, 4) // 12 sets -> rounds to 8, ways raised to 6
 	if tl.nsets != 8 {
 		t.Fatalf("nsets = %d, want 8", tl.nsets)
+	}
+	// Regression: rounding the set count down used to silently shrink
+	// the structure to 32 entries; the raised associativity preserves
+	// the requested capacity.
+	if tl.Entries() != 48 {
+		t.Fatalf("entries = %d, want 48", tl.Entries())
+	}
+	if tl.ways != 6 {
+		t.Fatalf("ways = %d, want 6", tl.ways)
+	}
+	if got := New(1536, 6).Entries(); got != 1536 {
+		t.Fatalf("power-of-two geometry changed: entries = %d, want 1536", got)
 	}
 	defer func() {
 		if recover() == nil {

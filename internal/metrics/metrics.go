@@ -121,16 +121,18 @@ func Percentile(xs []uint64, p float64) uint64 {
 	return sorted[rank]
 }
 
-// Mean returns the arithmetic mean of xs (0 for empty).
+// Mean returns the arithmetic mean of xs (0 for empty). It accumulates
+// in float64: a uint64 accumulator silently wraps on large cycle totals
+// (e.g. two samples of 2^63 summed to 0).
 func Mean(xs []uint64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	var sum uint64
+	var sum float64
 	for _, x := range xs {
-		sum += x
+		sum += float64(x)
 	}
-	return float64(sum) / float64(len(xs))
+	return sum / float64(len(xs))
 }
 
 // GeoMean returns the geometric mean of xs (0 for empty; zeros clamp

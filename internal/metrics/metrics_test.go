@@ -176,3 +176,13 @@ func TestMappingAccessors(t *testing.T) {
 		t.Fatal("Offset roundtrip wrong")
 	}
 }
+
+// TestMeanOverflow pins the float64 accumulator: a uint64 sum of two
+// 2^63 samples wraps to 0 and used to report a mean of 0.
+func TestMeanOverflow(t *testing.T) {
+	huge := uint64(1) << 63
+	got := Mean([]uint64{huge, huge})
+	if got != float64(huge) {
+		t.Fatalf("Mean overflowed: got %g, want %g", got, float64(huge))
+	}
+}

@@ -55,13 +55,12 @@ func (e EagerPolicy) OnMMap(k *Kernel, p *Process, v *vma.VMA) error {
 	return nil
 }
 
-// eagerRotor scatters consecutive above-MAX_ORDER block selections
-// across candidate free runs, the way a real (raised-MAX_ORDER) buddy's
-// churned LIFO lists hand out blocks from arbitrary locations. Without
-// it the simulator's pristine address-ordered lists would make eager's
-// chunks physically adjacent — accidental contiguity no aged machine
-// provides.
-var eagerRotor uint64
+// The kernel's eagerRotor scatters consecutive above-MAX_ORDER block
+// selections across candidate free runs, the way a real
+// (raised-MAX_ORDER) buddy's churned LIFO lists hand out blocks from
+// arbitrary locations. Without it the simulator's pristine
+// address-ordered lists would make eager's chunks physically adjacent —
+// accidental contiguity no aged machine provides.
 
 // eagerLargestAligned allocates the largest aligned power-of-two block
 // with size <= min(remaining rounded to power of two, maxBlock),
@@ -87,8 +86,8 @@ func eagerLargestAligned(k *Kernel, homeZone int, remaining, maxBlock uint64) (a
 			candidates = append(candidates, alignedRunsInZone(z, pages)...)
 		}
 		for try := 0; try < len(candidates); try++ {
-			pfn := candidates[int(eagerRotor*2654435761)%len(candidates)]
-			eagerRotor++
+			pfn := candidates[int(k.eagerRotor*2654435761)%len(candidates)]
+			k.eagerRotor++
 			if z := k.Machine.ZoneOf(pfn); z != nil {
 				if err := z.Buddy.Reserve(pfn, pages); err == nil {
 					return pfn, pages, true

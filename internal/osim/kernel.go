@@ -139,6 +139,16 @@ type Kernel struct {
 	// introduction cites as a coming cost multiplier).
 	PageTableLevels int
 
+	// OffsetBudget overrides the per-VMA tracked-offset budget for VMAs
+	// created under this kernel when positive (the offset-budget
+	// ablation); 0 keeps vma.MaxOffsets.
+	OffsetBudget int
+
+	// eagerRotor scatters consecutive above-MAX_ORDER eager block
+	// selections (see eagerLargestAligned). Per kernel, not global:
+	// concurrent kernels must not perturb each other's selections.
+	eagerRotor uint64
+
 	procs  []*Process
 	nextID int
 }
@@ -219,6 +229,7 @@ func (p *Process) mmap(size uint64, kind vma.Kind, fileID int, fileOff uint64) (
 	}
 	v.FileID = fileID
 	v.FileOff = fileOff
+	v.Budget = p.kernel.OffsetBudget
 	if err := p.kernel.Policy.OnMMap(p.kernel, p, v); err != nil {
 		p.VMAs.Remove(v)
 		return nil, err

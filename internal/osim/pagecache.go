@@ -2,6 +2,7 @@ package osim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mem/addr"
 	"repro/internal/osim/pagetable"
@@ -105,10 +106,18 @@ func (c *PageCache) Read(f *File, off, n uint64) error {
 }
 
 // DropFile evicts a file's pages from the cache, freeing frames whose
-// only reference was the cache.
+// only reference was the cache. Pages are freed in file order: the
+// free sequence feeds the buddy free lists, so map-iteration order
+// here would make every later allocation run-to-run nondeterministic.
 func (c *PageCache) DropFile(f *File) {
 	k := c.kernel
-	for idx, pfn := range f.pages {
+	idxs := make([]uint64, 0, len(f.pages))
+	for idx := range f.pages {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		pfn := f.pages[idx]
 		fr := k.Machine.Frames.Get(pfn)
 		fr.MapCount--
 		if fr.MapCount <= 0 {
@@ -120,10 +129,16 @@ func (c *PageCache) DropFile(f *File) {
 	f.placedOffset = false
 }
 
-// DropAll evicts the whole cache (echo 3 > drop_caches).
+// DropAll evicts the whole cache (echo 3 > drop_caches) in file-ID
+// order, for the same determinism reason as DropFile.
 func (c *PageCache) DropAll() {
-	for _, f := range c.files {
-		c.DropFile(f)
+	ids := make([]int, 0, len(c.files))
+	for id := range c.files {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c.DropFile(c.files[id])
 	}
 }
 

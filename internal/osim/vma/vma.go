@@ -15,10 +15,11 @@ import (
 	"repro/internal/mem/addr"
 )
 
-// MaxOffsets caps the tracked sub-VMA offsets per VMA (paper: 64,
-// FIFO). It is a variable so the offset-budget ablation can vary it;
-// production code treats it as a constant.
-var MaxOffsets = 64
+// MaxOffsets is the default cap on tracked sub-VMA offsets per VMA
+// (paper: 64, FIFO). The offset-budget ablation varies the cap per VMA
+// through the Budget field; the cap itself is a constant so concurrent
+// kernels never observe each other's settings.
+const MaxOffsets = 64
 
 // Kind distinguishes mapping types; they matter for fault accounting
 // and teardown.
@@ -55,6 +56,10 @@ type VMA struct {
 	FileID int
 	// FileOff is the file offset of Start for FileBacked VMAs (bytes).
 	FileOff uint64
+
+	// Budget overrides MaxOffsets for this VMA when positive (the
+	// offset-budget ablation); 0 means the default.
+	Budget int
 
 	// MappedPages counts base pages currently backed by frames.
 	MappedPages uint64
@@ -142,9 +147,13 @@ func (v *VMA) String() string {
 func (v *VMA) TrackOffset(faultVA addr.VirtAddr, off addr.Offset) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if len(v.offsets) == MaxOffsets {
-		copy(v.offsets, v.offsets[1:])
-		v.offsets = v.offsets[:MaxOffsets-1]
+	budget := v.Budget
+	if budget <= 0 {
+		budget = MaxOffsets
+	}
+	if len(v.offsets) >= budget {
+		n := copy(v.offsets, v.offsets[len(v.offsets)-budget+1:])
+		v.offsets = v.offsets[:n]
 	}
 	v.offsets = append(v.offsets, OffsetEntry{FaultVA: faultVA, Offset: off})
 }

@@ -251,18 +251,26 @@ func extractMappings(env *workloads.Env) []metrics.Mapping {
 // at the segment target; for overhead accounting only in/out of the
 // segment range matters.
 func buildSegment(env *workloads.Env) *ds.Segment {
-	ms := extractMappings(env)
+	return segmentFor(extractMappings(env))
+}
+
+// segmentFor sizes the segment over the mappings' full virtual extent.
+// The segment's offset must belong to the lowest-VA mapping — the one
+// whose start defines the segment base — not to whichever mapping
+// happens to be listed first, or base and offset would describe
+// different extents.
+func segmentFor(ms []metrics.Mapping) *ds.Segment {
 	if len(ms) == 0 {
 		return ds.NewSegment(0, 0, 0)
 	}
-	lo, hi := ms[0].VA, ms[0].End()
+	lo, hi, off := ms[0].VA, ms[0].End(), ms[0].Offset()
 	for _, m := range ms[1:] {
 		if m.VA < lo {
-			lo = m.VA
+			lo, off = m.VA, m.Offset()
 		}
 		if m.End() > hi {
 			hi = m.End()
 		}
 	}
-	return ds.NewSegment(lo, uint64(hi-lo), ms[0].Offset())
+	return ds.NewSegment(lo, uint64(hi-lo), off)
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem/addr"
 	"repro/internal/mem/zone"
+	"repro/internal/metrics"
 	"repro/internal/osim"
 	"repro/internal/virt"
 	"repro/internal/workloads"
@@ -205,5 +206,28 @@ func TestShadowPagingScheme(t *testing.T) {
 	if shadowed.AvgWalkCycles >= nested.AvgWalkCycles {
 		t.Fatalf("shadow avg walk %f should beat nested %f for a huge-backed footprint",
 			shadowed.AvgWalkCycles, nested.AvgWalkCycles)
+	}
+}
+
+// TestSegmentForOutOfOrderMappings pins the buildSegment fix: the
+// segment offset must come from the lowest-VA mapping, not from
+// whichever mapping is listed first, so the segment translates its own
+// base correctly.
+func TestSegmentForOutOfOrderMappings(t *testing.T) {
+	hi := metrics.Mapping{VA: addr.VirtAddr(0x40_0000), PA: addr.PhysAddr(0x9000_0000), Pages: 16}
+	lo := metrics.Mapping{VA: addr.VirtAddr(0x10_0000), PA: addr.PhysAddr(0x1000_0000), Pages: 16}
+	seg := segmentFor([]metrics.Mapping{hi, lo}) // out of VA order
+	pa, ok := seg.Lookup(lo.VA)
+	if !ok {
+		t.Fatal("segment must cover its own base")
+	}
+	if pa != lo.PA {
+		t.Fatalf("segment base translates to %#x, want %#x (offset taken from the wrong mapping)", uint64(pa), uint64(lo.PA))
+	}
+	if _, ok := seg.Lookup(hi.VA.Add(15 * addr.PageSize)); !ok {
+		t.Fatal("segment must span through the highest mapping")
+	}
+	if empty := segmentFor(nil); empty == nil {
+		t.Fatal("empty mapping set must still build a (zero) segment")
 	}
 }
