@@ -185,7 +185,7 @@ func BenchmarkFig12VirtContiguity(b *testing.B) {
 }
 
 func BenchmarkFig13TranslationOverhead(b *testing.B) {
-	tab := runDriverWith(b, reducedStream(400_000), func(p experiments.Params) (*experiments.Table, error) {
+	tab := runDriverWith(b, reducedStream(800_000), func(p experiments.Params) (*experiments.Table, error) {
 		return experiments.Fig13For(p, []string{"pagerank", "xsbench"})
 	})
 	if row := findRow(tab, "pagerank"); row != nil {
@@ -195,7 +195,7 @@ func BenchmarkFig13TranslationOverhead(b *testing.B) {
 }
 
 func BenchmarkFig14SpotBreakdown(b *testing.B) {
-	tab := runDriverWith(b, reducedStream(400_000), func(p experiments.Params) (*experiments.Table, error) {
+	tab := runDriverWith(b, reducedStream(800_000), func(p experiments.Params) (*experiments.Table, error) {
 		return experiments.Fig14For(p, []string{"pagerank", "hashjoin", "svm"})
 	})
 	if row := findRow(tab, "pagerank"); row != nil {
@@ -207,7 +207,7 @@ func BenchmarkFig14SpotBreakdown(b *testing.B) {
 }
 
 func BenchmarkTable7USL(b *testing.B) {
-	tab := runDriverWith(b, reducedStream(300_000), func(p experiments.Params) (*experiments.Table, error) {
+	tab := runDriverWith(b, reducedStream(600_000), func(p experiments.Params) (*experiments.Table, error) {
 		return experiments.Table7For(p, []string{"pagerank", "hashjoin"})
 	})
 	if len(tab.Rows) > 0 {
@@ -243,14 +243,14 @@ func BenchmarkAblationOffsetBudget(b *testing.B) {
 }
 
 func BenchmarkAblationSpotConfidence(b *testing.B) {
-	tab := runDriverWith(b, reducedStream(300_000), experiments.AblationSpotConfidence)
+	tab := runDriverWith(b, reducedStream(600_000), experiments.AblationSpotConfidence)
 	if row := findRow(tab, "no confidence"); row != nil {
 		b.ReportMetric(metric(row[2]), "noconf-mispred-pct")
 	}
 }
 
 func BenchmarkAblationSpotGeometry(b *testing.B) {
-	tab := runDriverWith(b, reducedStream(200_000), experiments.AblationSpotGeometry)
+	tab := runDriverWith(b, reducedStream(400_000), experiments.AblationSpotGeometry)
 	if row := findRow(tab, "32x4"); row != nil {
 		b.ReportMetric(metric(row[1]), "32x4-correct-pct")
 	}
@@ -259,7 +259,7 @@ func BenchmarkAblationSpotGeometry(b *testing.B) {
 // --- extensions beyond the paper's figures ---
 
 func BenchmarkExtraShadowPaging(b *testing.B) {
-	tab := runDriverWith(b, reducedStream(300_000), func(p experiments.Params) (*experiments.Table, error) {
+	tab := runDriverWith(b, reducedStream(600_000), func(p experiments.Params) (*experiments.Table, error) {
 		return experiments.ExtraShadowFor(p, []string{"pagerank"})
 	})
 	if row := findRow(tab, "pagerank"); row != nil {
@@ -273,7 +273,7 @@ func BenchmarkExtraReservation(b *testing.B) {
 }
 
 func BenchmarkExtraFiveLevel(b *testing.B) {
-	tab := runDriverWith(b, reducedStream(300_000), experiments.ExtraFiveLevel)
+	tab := runDriverWith(b, reducedStream(600_000), experiments.ExtraFiveLevel)
 	if row := findRow(tab, "5"); row != nil {
 		b.ReportMetric(metric(row[1]), "5level-vthp-pct")
 	}

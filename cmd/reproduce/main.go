@@ -7,32 +7,63 @@
 //	reproduce -list
 //	reproduce -exp fig7
 //	reproduce -exp all [-jobs 8] [-stream 1000000] [-settle 400] [-seed 1]
+//	reproduce -exp all -cpuprofile cpu.prof -memprofile mem.prof -timing timing.json
 //
 // Experiments are mutually independent and deterministic in their
 // parameters, so -exp all fans them out on a worker pool; tables print
 // in stable registry order with per-experiment wall-clock timing, and
 // -jobs 1 reproduces the sequential behaviour byte-for-byte.
+//
+// The profiling flags feed the performance work tracked in DESIGN.md
+// §7: -cpuprofile/-memprofile write standard pprof profiles around the
+// sweep, and -timing writes the per-experiment wall-clock breakdown as
+// JSON (the format committed as BENCH_*.json trajectory points).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/experiments/runner"
 )
 
+// timingReport is the -timing JSON schema: enough provenance (params,
+// host shape, date) to compare trajectory points across commits.
+type timingReport struct {
+	Date      string         `json:"date"`
+	GoVersion string         `json:"go_version"`
+	NumCPU    int            `json:"num_cpu"`
+	Jobs      int            `json:"jobs"`
+	StreamLen uint64         `json:"stream_len"`
+	Settle    int            `json:"settle_epochs"`
+	Seed      int64          `json:"seed"`
+	TotalMS   float64        `json:"total_ms"`
+	PerExp    []timingResult `json:"experiments"`
+}
+
+type timingResult struct {
+	ID string  `json:"id"`
+	MS float64 `json:"ms"`
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -list) or 'all'")
-		list   = flag.Bool("list", false, "list experiment ids")
-		jobs   = flag.Int("jobs", runtime.NumCPU(), "max concurrent experiments (1 = sequential)")
-		stream = flag.Uint64("stream", 1_000_000, "measured-phase accesses for translation experiments")
-		settle = flag.Int("settle", 400, "daemon-settle epochs for contiguity experiments")
-		seed   = flag.Int64("seed", 1, "base workload seed")
+		exp        = flag.String("exp", "", "experiment id (see -list) or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids")
+		jobs       = flag.Int("jobs", runtime.NumCPU(), "max concurrent experiments (1 = sequential)")
+		stream     = flag.Uint64("stream", 1_000_000, "measured-phase accesses for translation experiments")
+		settle     = flag.Int("settle", 400, "daemon-settle epochs for contiguity experiments")
+		seed       = flag.Int64("seed", 1, "base workload seed")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to `file`")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile after the sweep to `file`")
+		timing     = flag.String("timing", "", "write per-experiment wall-clock JSON to `file`")
 	)
 	flag.Parse()
 	if *list || *exp == "" {
@@ -55,7 +86,22 @@ func main() {
 	if *exp != "all" {
 		ids = []string{*exp}
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
+	start := time.Now()
 	results, err := runner.Run(context.Background(), ids, params, *jobs)
+	total := time.Since(start)
 	if err != nil {
 		// Render whatever completed before the failure, then report it:
 		// a 21-experiment sweep should not discard 20 good tables.
@@ -70,5 +116,44 @@ func main() {
 	for _, r := range results {
 		r.Table.Render(os.Stdout)
 		fmt.Printf("(%s took %s)\n\n", r.ID, r.Elapsed.Round(1e6))
+	}
+	if *timing != "" {
+		rep := timingReport{
+			Date:      time.Now().UTC().Format(time.RFC3339),
+			GoVersion: runtime.Version(),
+			NumCPU:    runtime.NumCPU(),
+			Jobs:      *jobs,
+			StreamLen: *stream,
+			Settle:    *settle,
+			Seed:      *seed,
+			TotalMS:   float64(total.Microseconds()) / 1e3,
+		}
+		for _, r := range results {
+			rep.PerExp = append(rep.PerExp, timingResult{
+				ID: r.ID, MS: float64(r.Elapsed.Microseconds()) / 1e3,
+			})
+		}
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*timing, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

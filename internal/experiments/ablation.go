@@ -184,7 +184,9 @@ func AblationSpotConfidence(p Params) (*Table, error) {
 		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), v.cfg)
+		cfg := v.cfg
+		cfg.NoWalkCache = p.NoWalkCache
+		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +223,7 @@ func AblationSpotGeometry(p Params) (*Table, error) {
 			return nil, err
 		}
 		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen),
-			sim.Config{EnableSchemes: true, SpotEntries: geo.entries, SpotWays: geo.ways})
+			sim.Config{EnableSchemes: true, SpotEntries: geo.entries, SpotWays: geo.ways, NoWalkCache: p.NoWalkCache})
 		if err != nil {
 			return nil, err
 		}

@@ -88,7 +88,7 @@ func ExtraFiveLevel(p Params) (*Table, error) {
 		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: true})
+		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: true, NoWalkCache: p.NoWalkCache})
 		if err != nil {
 			return nil, err
 		}

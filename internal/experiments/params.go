@@ -18,10 +18,16 @@ type Params struct {
 	// Seed+1. Identical Params produce identical tables.
 	Seed int64
 	// Jobs bounds the intra-driver parallelism of the heavy sweep
-	// drivers (Fig. 7/12, Table V): <=0 means GOMAXPROCS, 1 forces the
-	// historical strictly sequential execution. Output is identical
-	// either way; only wall-clock changes.
+	// drivers (Fig. 7/12/13/14, Table V/VII, the translation runs):
+	// <=0 means GOMAXPROCS, 1 forces the historical strictly
+	// sequential execution. Output is identical either way; only
+	// wall-clock changes.
 	Jobs int
+	// NoWalkCache disables sim's software walk-memoization cache in
+	// every translation driver. Tables are byte-identical either way
+	// (runner.TestWalkCacheToggleMatches pins this); the toggle exists
+	// for regression comparison and debugging.
+	NoWalkCache bool
 }
 
 // DefaultParams returns the paper-scale defaults the cmd/reproduce

@@ -117,3 +117,24 @@ func TestDefaultJobs(t *testing.T) {
 		t.Fatal("driver did not run")
 	}
 }
+
+// TestWalkCacheToggleMatches extends the determinism gate across the
+// walk-cache toggle: disabling the memo must not change a single byte
+// of any translation table — the cache is a pure execution
+// optimization, kept honest by its generation-based self-invalidation.
+func TestWalkCacheToggleMatches(t *testing.T) {
+	ids := []string{"fig13", "fig14", "table7", "extra-shadow", "ablation-confidence"}
+	p := testParams()
+	cached, err := Run(context.Background(), ids, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NoWalkCache = true
+	uncached, err := Run(context.Background(), ids, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := render(t, cached), render(t, uncached); !bytes.Equal(a, b) {
+		t.Fatalf("walk-cache toggle changed output:\n--- cached ---\n%s\n--- uncached ---\n%s", a, b)
+	}
+}

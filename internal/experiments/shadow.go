@@ -42,7 +42,7 @@ func ExtraShadowFor(p Params, names []string) (*Table, error) {
 				return nil, fmt.Errorf("shadow %s: %w", name, err)
 			}
 			res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen),
-				sim.Config{ShadowPaging: shadow})
+				sim.Config{ShadowPaging: shadow, NoWalkCache: p.NoWalkCache})
 			if err != nil {
 				return nil, err
 			}

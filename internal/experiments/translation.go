@@ -42,25 +42,34 @@ func runTranslation(p Params, name string) (translationRun, error) {
 		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return sim.Result{}, fmt.Errorf("%s setup: %w", name, err)
 		}
-		return sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: schemes})
+		return sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: schemes, NoWalkCache: p.NoWalkCache})
 	}
-	var err error
-	if out.native4K, err = run(false, false, PolicyTHP, false); err != nil {
-		return out, err
+	// The five configurations are independent simulations (each builds
+	// its own kernel/VM), so they run on the shared worker pool. Each
+	// writes an index-owned field; identical output to the sequential
+	// original.
+	configs := []struct {
+		dst          *sim.Result
+		virtual, thp bool
+		policy       PolicyName
+		schemes      bool
+	}{
+		{&out.native4K, false, false, PolicyTHP, false},
+		{&out.nativeTHP, false, true, PolicyTHP, false},
+		{&out.virt4K, true, false, PolicyTHP, false},
+		{&out.virtTHP, true, true, PolicyTHP, false},
+		{&out.caTHP, true, true, PolicyCA, true},
 	}
-	if out.nativeTHP, err = run(false, true, PolicyTHP, false); err != nil {
-		return out, err
-	}
-	if out.virt4K, err = run(true, false, PolicyTHP, false); err != nil {
-		return out, err
-	}
-	if out.virtTHP, err = run(true, true, PolicyTHP, false); err != nil {
-		return out, err
-	}
-	if out.caTHP, err = run(true, true, PolicyCA, true); err != nil {
-		return out, err
-	}
-	return out, nil
+	err := forEach(len(configs), p.jobs(), func(i int) error {
+		c := configs[i]
+		res, err := run(c.virtual, c.thp, c.policy, c.schemes)
+		if err != nil {
+			return err
+		}
+		*c.dst = res
+		return nil
+	})
+	return out, err
 }
 
 // Fig13 reproduces the translation-overhead comparison (Fig. 13):
@@ -78,12 +87,20 @@ func Fig13For(p Params, names []string) (*Table, error) {
 			"paper shape: vTHP ~16.5% avg; SpOT ~0.9%; vRMM <0.1%; DS ~0",
 		},
 	}
-	var thpN, vthpN, spotN, rmmN, dsN []float64
-	for _, name := range names {
-		r, err := runTranslation(p, name)
+	runs := make([]translationRun, len(names))
+	if err := forEach(len(names), p.jobs(), func(i int) error {
+		r, err := runTranslation(p, names[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		runs[i] = r
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var thpN, vthpN, spotN, rmmN, dsN []float64
+	for _, r := range runs {
+		name := r.name
 		c := walker.DefaultCosts()
 		o4k := perfmodel.PagingOverhead(r.native4K)
 		othp := perfmodel.PagingOverhead(r.nativeTHP)
@@ -135,26 +152,34 @@ func Fig14For(p Params, names []string) (*Table, error) {
 			"svm carries the largest irregular no-prediction tail",
 		},
 	}
-	for _, name := range names {
+	results := make([]sim.Result, len(names))
+	if err := forEach(len(names), p.jobs(), func(i int) error {
+		name := names[i]
 		vm, _, err := newVM(PolicyCA, PolicyCA)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		env := workloads.NewVirtEnv(vm, 0)
 		wl := workloads.ByName(name)
 		if err := wl.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
-			return nil, fmt.Errorf("fig14 %s: %w", name, err)
+			return fmt.Errorf("fig14 %s: %w", name, err)
 		}
-		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: true})
+		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: true, NoWalkCache: p.NoWalkCache})
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, res := range results {
 		total := float64(res.Misses)
 		if total == 0 {
 			total = 1
 		}
 		t.Rows = append(t.Rows, []string{
-			name,
+			names[i],
 			pct(float64(res.SpotCorrect) / total),
 			pct(float64(res.SpotMispredict) / total),
 			pct(float64(res.SpotNoPred) / total),
@@ -178,25 +203,33 @@ func Table7For(p Params, names []string) (*Table, error) {
 			"but far rarer than branch speculation, so SpOT USLs stay several x fewer",
 		},
 	}
-	var missPct, spotPct []float64
-	var est perfmodel.USLEstimate
-	for _, name := range names {
+	ests := make([]perfmodel.USLEstimate, len(names))
+	if err := forEach(len(names), p.jobs(), func(i int) error {
+		name := names[i]
 		vm, _, err := newVM(PolicyCA, PolicyCA)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		env := workloads.NewVirtEnv(vm, 0)
 		wl := workloads.ByName(name)
 		if err := wl.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
-			return nil, fmt.Errorf("table7 %s: %w", name, err)
+			return fmt.Errorf("table7 %s: %w", name, err)
 		}
-		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{})
+		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{NoWalkCache: p.NoWalkCache})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		est = perfmodel.EstimateUSL(res)
-		missPct = append(missPct, est.DTLBMissesPerInstrPct)
-		spotPct = append(spotPct, est.SpOTUSLPct)
+		ests[i] = perfmodel.EstimateUSL(res)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var missPct, spotPct []float64
+	var est perfmodel.USLEstimate
+	for _, e := range ests {
+		est = e
+		missPct = append(missPct, e.DTLBMissesPerInstrPct)
+		spotPct = append(spotPct, e.SpOTUSLPct)
 	}
 	t.Rows = append(t.Rows, []string{
 		fmt.Sprintf("%.2f%%", est.BranchesPerInstrPct),

@@ -16,14 +16,23 @@ type entry struct {
 	lru   uint64
 }
 
-// TLB is a unified set-associative translation cache.
+// TLB is a unified set-associative translation cache. The ways of all
+// sets live in one flat backing array indexed by set*ways+way: probing
+// a set is one bounds-checked slice, not a pointer chase through a
+// per-set allocation, which matters because Lookup runs once per
+// simulated access.
 type TLB struct {
-	sets    [][]entry
+	entries []entry
 	nsets   uint64
 	ways    int
 	tick    uint64
 	lookups uint64
 	misses  uint64
+	// nSmall/nHuge count the valid entries of each page size, letting
+	// Lookup skip the probe of a size the TLB holds no entries for —
+	// the common case in the pure-4K and THP-saturated configurations.
+	nSmall uint64
+	nHuge  uint64
 }
 
 // New creates a TLB with the given total entry count and associativity.
@@ -46,11 +55,7 @@ func New(entries, ways int) *TLB {
 		nsets = n
 		ways = (entries + nsets - 1) / nsets
 	}
-	sets := make([][]entry, nsets)
-	for i := range sets {
-		sets[i] = make([]entry, ways)
-	}
-	return &TLB{sets: sets, nsets: uint64(nsets), ways: ways}
+	return &TLB{entries: make([]entry, nsets*ways), nsets: uint64(nsets), ways: ways}
 }
 
 // Entries returns the effective capacity (sets x ways), which is at
@@ -71,28 +76,37 @@ func (t *TLB) MissRatio() float64 {
 	return float64(t.misses) / float64(t.lookups)
 }
 
-func (t *TLB) set(tag uint64) []entry { return t.sets[tag&(t.nsets-1)] }
+func (t *TLB) set(tag uint64) []entry {
+	i := (tag & (t.nsets - 1)) * uint64(t.ways)
+	return t.entries[i : i+uint64(t.ways)]
+}
 
 // Lookup probes the TLB for va at both page sizes, updating LRU and
-// counters. It reports whether the translation was cached.
+// counters. It reports whether the translation was cached. The 4K/2M
+// probes are unrolled into direct calls (no per-call probe-descriptor
+// slice): Lookup must not allocate.
 func (t *TLB) Lookup(va addr.VirtAddr) bool {
 	t.lookups++
 	t.tick++
-	tag4k := uint64(va) >> addr.PageShift
-	tag2m := uint64(va) >> addr.HugeShift
-	for _, probe := range []struct {
-		tag  uint64
-		huge bool
-	}{{tag4k, false}, {tag2m, true}} {
-		set := t.set(probe.tag)
-		for i := range set {
-			if set[i].valid && set[i].huge == probe.huge && set[i].tag == probe.tag {
-				set[i].lru = t.tick
-				return true
-			}
-		}
+	if t.nSmall > 0 && t.probe(uint64(va)>>addr.PageShift, false) {
+		return true
+	}
+	if t.nHuge > 0 && t.probe(uint64(va)>>addr.HugeShift, true) {
+		return true
 	}
 	t.misses++
+	return false
+}
+
+// probe searches one set for (tag, huge), refreshing LRU on hit.
+func (t *TLB) probe(tag uint64, huge bool) bool {
+	set := t.set(tag)
+	for i := range set {
+		if set[i].valid && set[i].huge == huge && set[i].tag == tag {
+			set[i].lru = t.tick
+			return true
+		}
+	}
 	return false
 }
 
@@ -115,16 +129,26 @@ func (t *TLB) Insert(va addr.VirtAddr, huge bool) {
 			victim = i
 		}
 	}
+	if set[victim].valid {
+		t.sizeCount(set[victim].huge, -1)
+	}
+	t.sizeCount(huge, +1)
 	set[victim] = entry{valid: true, huge: huge, tag: tag, lru: t.tick}
+}
+
+// sizeCount adjusts the per-page-size valid-entry counter.
+func (t *TLB) sizeCount(huge bool, d int) {
+	if huge {
+		t.nHuge += uint64(d)
+	} else {
+		t.nSmall += uint64(d)
+	}
 }
 
 // Flush invalidates all entries (context switch / shootdown).
 func (t *TLB) Flush() {
-	for _, set := range t.sets {
-		for i := range set {
-			set[i] = entry{}
-		}
-	}
+	clear(t.entries)
+	t.nSmall, t.nHuge = 0, 0
 }
 
 // ResetStats clears the lookup/miss counters (e.g. after the population

@@ -40,13 +40,18 @@ type Costs struct {
 	Nested2M2M float64 // 2M over 2M: 15 refs
 }
 
-// DefaultCosts returns the model constants.
-func DefaultCosts() Costs {
+// DefaultCosts returns the model constants for today's 4-level tables.
+func DefaultCosts() Costs { return CostsForDepth(4) }
+
+// CostsForDepth returns the model constants for a given table depth
+// (4 = x86-64, 5 = LA57): the nested costs follow the (g+1)*(h+1)-1
+// reference structure at that depth.
+func CostsForDepth(depth int) Costs {
 	return Costs{
 		Native4K:   nativeAvg4K,
 		Native2M:   nativeAvg2M,
-		Nested4K4K: (4+1)*(4+1)*CyclesPerRef - CyclesPerRef, // 24 refs
-		Nested2M2M: (3+1)*(3+1)*CyclesPerRef - CyclesPerRef, // 15 refs
+		Nested4K4K: NestedCostForLevels(0, 0, depth), // 24 refs at depth 4
+		Nested2M2M: NestedCostForLevels(1, 1, depth), // 15 refs at depth 4
 	}
 }
 
@@ -67,8 +72,13 @@ func NestedCost(w virt.NestedWalk) float64 {
 
 // NestedCostForLevels returns the nested walk cost for given guest and
 // host leaf levels without a concrete walk (used by analytic sweeps).
-func NestedCostForLevels(guestLevel, hostLevel int) float64 {
-	g := 4 - guestLevel
-	h := 4 - hostLevel
+// depth is the page-table depth of both dimensions (4 for x86-64, 5
+// for LA57): a 4K leaf in a depth-d table touches d levels, a 2M leaf
+// d-1, and the nested structure multiplies to (g+1)*(h+1)-1 references
+// — 24 at depth 4, 35 at depth 5, the deepening the paper's
+// introduction cites as a coming cost multiplier.
+func NestedCostForLevels(guestLevel, hostLevel, depth int) float64 {
+	g := depth - guestLevel
+	h := depth - hostLevel
 	return float64((g+1)*(h+1)-1) * CyclesPerRef
 }

@@ -43,14 +43,32 @@ func TestNestedCostFromWalk(t *testing.T) {
 func TestNestedCostForLevels(t *testing.T) {
 	// 4K/4K: g=4, h=4 -> 24 refs. 2M/2M: g=3,h=3 -> 15 refs.
 	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-6 }
-	if !approx(NestedCostForLevels(0, 0), 24*CyclesPerRef) {
+	if !approx(NestedCostForLevels(0, 0, 4), 24*CyclesPerRef) {
 		t.Fatal("4K/4K nested cost wrong")
 	}
-	if !approx(NestedCostForLevels(1, 1), 15*CyclesPerRef) {
+	if !approx(NestedCostForLevels(1, 1, 4), 15*CyclesPerRef) {
 		t.Fatal("2M/2M nested cost wrong")
 	}
 	// Mixed: 2M guest over 4K host: (3+1)*(4+1)-1 = 19.
-	if !approx(NestedCostForLevels(1, 0), 19*CyclesPerRef) {
+	if !approx(NestedCostForLevels(1, 0, 4), 19*CyclesPerRef) {
 		t.Fatal("2M/4K nested cost wrong")
+	}
+	// 5-level (LA57): the geometry must not be hardcoded to 4 levels.
+	// 4K/4K at depth 5: (5+1)*(5+1)-1 = 35 refs (intro's motivation).
+	if !approx(NestedCostForLevels(0, 0, 5), 35*CyclesPerRef) {
+		t.Fatal("5-level 4K/4K nested cost wrong")
+	}
+	if !approx(NestedCostForLevels(1, 1, 5), 24*CyclesPerRef) {
+		t.Fatal("5-level 2M/2M nested cost wrong")
+	}
+}
+
+func TestCostsForDepth(t *testing.T) {
+	if CostsForDepth(4) != DefaultCosts() {
+		t.Fatal("depth-4 costs must equal the defaults")
+	}
+	c5 := CostsForDepth(5)
+	if !(c5.Nested4K4K > DefaultCosts().Nested4K4K && c5.Nested2M2M > DefaultCosts().Nested2M2M) {
+		t.Fatalf("5-level nested walks must cost more: %+v", c5)
 	}
 }

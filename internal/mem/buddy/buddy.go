@@ -40,6 +40,9 @@ type Hooks struct {
 	MaxOrderRemove func(pfn addr.PFN)
 }
 
+// nilLink terminates the intrusive free lists.
+const nilLink = int32(-1)
+
 // Buddy is a buddy allocator managing the frame range
 // [base, base+npages) within a shared frame table.
 type Buddy struct {
@@ -47,12 +50,16 @@ type Buddy struct {
 	base   addr.PFN
 	npages uint64
 
-	// Intrusive doubly-linked free lists, one head per order. next and
-	// prev are indexed by pfn-base and only meaningful for frames that
-	// are the head of a free block currently on a list.
-	heads [addr.MaxOrder + 1]addr.PFN
-	next  []addr.PFN
-	prev  []addr.PFN
+	// Intrusive doubly-linked free lists, one head per order. Links are
+	// 32-bit frame indices relative to base (nilLink = none) rather
+	// than full PFNs: half the link-array footprint, which is paid as
+	// zeroing on every machine construction. Index order equals PFN
+	// order, so the sorted-list comparisons work on indices directly.
+	// next and prev are only meaningful for frames that are the head of
+	// a free block currently on a list.
+	heads [addr.MaxOrder + 1]int32
+	next  []int32
+	prev  []int32
 
 	freePages     uint64
 	perOrderCount [addr.MaxOrder + 1]uint64
@@ -72,23 +79,21 @@ func New(frames *frame.Table, base addr.PFN, npages uint64) *Buddy {
 	if npages == 0 || npages%addr.MaxOrderPages != 0 {
 		panic(fmt.Sprintf("buddy: npages %d not a multiple of MAX_ORDER block", npages))
 	}
+	if npages >= 1<<31 {
+		panic(fmt.Sprintf("buddy: npages %d exceeds 32-bit link index space", npages))
+	}
 	b := &Buddy{
 		frames: frames,
 		base:   base,
 		npages: npages,
-		next:   make([]addr.PFN, npages),
-		prev:   make([]addr.PFN, npages),
+		next:   make([]int32, npages),
+		prev:   make([]int32, npages),
 	}
 	for o := range b.heads {
-		b.heads[o] = addr.NoPFN
+		b.heads[o] = nilLink
 	}
+	frame.Fill(frames.Slice(base, npages), frame.Frame{State: frame.Free, BuddyOrder: -1, AllocOrder: -1})
 	for pfn := base; pfn < base+addr.PFN(npages); pfn += addr.MaxOrderPages {
-		for i := addr.PFN(0); i < addr.MaxOrderPages; i++ {
-			f := frames.Get(pfn + i)
-			f.State = frame.Free
-			f.BuddyOrder = -1
-			f.AllocOrder = -1
-		}
 		b.listInsert(pfn, addr.MaxOrder)
 		b.freePages += addr.MaxOrderPages
 	}
@@ -112,8 +117,8 @@ func (b *Buddy) SetSorted(on bool) {
 	saved := b.hooks
 	b.hooks = Hooks{}
 	var blocks []addr.PFN
-	for b.heads[addr.MaxOrder] != addr.NoPFN {
-		pfn := b.heads[addr.MaxOrder]
+	for b.heads[addr.MaxOrder] != nilLink {
+		pfn := b.pfnAt(b.heads[addr.MaxOrder])
 		b.listRemove(pfn, addr.MaxOrder)
 		blocks = append(blocks, pfn)
 	}
@@ -145,40 +150,42 @@ func (b *Buddy) Contains(pfn addr.PFN) bool {
 
 // --- free-list primitives ---
 
-func (b *Buddy) idx(pfn addr.PFN) uint64 { return uint64(pfn - b.base) }
+func (b *Buddy) idx(pfn addr.PFN) int32 { return int32(pfn - b.base) }
+
+func (b *Buddy) pfnAt(i int32) addr.PFN { return b.base + addr.PFN(i) }
 
 func (b *Buddy) listInsert(pfn addr.PFN, order int) {
 	i := b.idx(pfn)
-	if b.sorted && order == addr.MaxOrder && b.heads[order] != addr.NoPFN {
+	if b.sorted && order == addr.MaxOrder && b.heads[order] != nilLink {
 		// Insertion-sort by physical address. The MAX_ORDER list is
 		// short (one entry per 4 MiB of free memory), so the linear
 		// walk is cheap; the paper uses neighbour-address recursion
 		// for the same effect.
-		if pfn < b.heads[order] {
+		if i < b.heads[order] {
 			b.next[i] = b.heads[order]
-			b.prev[i] = addr.NoPFN
-			b.prev[b.idx(b.heads[order])] = pfn
-			b.heads[order] = pfn
+			b.prev[i] = nilLink
+			b.prev[b.heads[order]] = i
+			b.heads[order] = i
 		} else {
 			cur := b.heads[order]
-			for b.next[b.idx(cur)] != addr.NoPFN && b.next[b.idx(cur)] < pfn {
-				cur = b.next[b.idx(cur)]
+			for b.next[cur] != nilLink && b.next[cur] < i {
+				cur = b.next[cur]
 			}
-			nxt := b.next[b.idx(cur)]
-			b.next[b.idx(cur)] = pfn
+			nxt := b.next[cur]
+			b.next[cur] = i
 			b.prev[i] = cur
 			b.next[i] = nxt
-			if nxt != addr.NoPFN {
-				b.prev[b.idx(nxt)] = pfn
+			if nxt != nilLink {
+				b.prev[nxt] = i
 			}
 		}
 	} else {
 		b.next[i] = b.heads[order]
-		b.prev[i] = addr.NoPFN
-		if b.heads[order] != addr.NoPFN {
-			b.prev[b.idx(b.heads[order])] = pfn
+		b.prev[i] = nilLink
+		if b.heads[order] != nilLink {
+			b.prev[b.heads[order]] = i
 		}
-		b.heads[order] = pfn
+		b.heads[order] = i
 	}
 	b.frames.Get(pfn).BuddyOrder = int8(order)
 	b.perOrderCount[order]++
@@ -192,36 +199,34 @@ func (b *Buddy) listRemove(pfn addr.PFN, order int) {
 		b.hooks.MaxOrderRemove(pfn)
 	}
 	i := b.idx(pfn)
-	if b.prev[i] != addr.NoPFN {
-		b.next[b.idx(b.prev[i])] = b.next[i]
+	if b.prev[i] != nilLink {
+		b.next[b.prev[i]] = b.next[i]
 	} else {
 		b.heads[order] = b.next[i]
 	}
-	if b.next[i] != addr.NoPFN {
-		b.prev[b.idx(b.next[i])] = b.prev[i]
+	if b.next[i] != nilLink {
+		b.prev[b.next[i]] = b.prev[i]
 	}
 	b.frames.Get(pfn).BuddyOrder = -1
 	b.perOrderCount[order]--
 }
 
 func (b *Buddy) markAllocated(pfn addr.PFN, order int) {
-	n := addr.PFN(addr.OrderPages(order))
-	for i := addr.PFN(0); i < n; i++ {
-		f := b.frames.Get(pfn + i)
-		f.State = frame.Allocated
-		f.AllocOrder = -1
+	fs := b.frames.Slice(pfn, addr.OrderPages(order))
+	for i := range fs {
+		fs[i].State = frame.Allocated
+		fs[i].AllocOrder = -1
 	}
-	b.frames.Get(pfn).AllocOrder = int8(order)
+	fs[0].AllocOrder = int8(order)
 	b.freePages -= addr.OrderPages(order)
 }
 
 func (b *Buddy) markFree(pfn addr.PFN, order int) {
-	n := addr.PFN(addr.OrderPages(order))
-	for i := addr.PFN(0); i < n; i++ {
-		f := b.frames.Get(pfn + i)
-		f.State = frame.Free
-		f.AllocOrder = -1
-		f.MapCount = 0
+	fs := b.frames.Slice(pfn, addr.OrderPages(order))
+	for i := range fs {
+		fs[i].State = frame.Free
+		fs[i].AllocOrder = -1
+		fs[i].MapCount = 0
 	}
 	b.freePages += addr.OrderPages(order)
 }
@@ -237,7 +242,7 @@ func (b *Buddy) AllocBlock(order int) (addr.PFN, error) {
 	}
 	from := -1
 	for o := order; o <= addr.MaxOrder; o++ {
-		if b.heads[o] != addr.NoPFN {
+		if b.heads[o] != nilLink {
 			from = o
 			break
 		}
@@ -245,7 +250,7 @@ func (b *Buddy) AllocBlock(order int) (addr.PFN, error) {
 	if from < 0 {
 		return 0, ErrNoMemory
 	}
-	pfn := b.heads[from]
+	pfn := b.pfnAt(b.heads[from])
 	b.listRemove(pfn, from)
 	// Split down to the requested order, returning upper halves.
 	for o := from; o > order; o-- {
@@ -383,8 +388,8 @@ func maxAlignedOrder(cur addr.PFN, left uint64) int {
 // VisitMaxOrder calls fn for every block currently on the MAX_ORDER free
 // list, in list order.
 func (b *Buddy) VisitMaxOrder(fn func(pfn addr.PFN)) {
-	for pfn := b.heads[addr.MaxOrder]; pfn != addr.NoPFN; pfn = b.next[b.idx(pfn)] {
-		fn(pfn)
+	for i := b.heads[addr.MaxOrder]; i != nilLink; i = b.next[i] {
+		fn(b.pfnAt(i))
 	}
 }
 
@@ -393,7 +398,7 @@ func (b *Buddy) VisitMaxOrder(fn func(pfn addr.PFN)) {
 // lists), or -1 if memory is exhausted.
 func (b *Buddy) LargestAlignedFree() int {
 	for o := addr.MaxOrder; o >= 0; o-- {
-		if b.heads[o] != addr.NoPFN {
+		if b.heads[o] != nilLink {
 			return o
 		}
 	}
@@ -408,8 +413,9 @@ func (b *Buddy) CheckInvariants() error {
 	var listedFree uint64
 	for o := 0; o <= addr.MaxOrder; o++ {
 		var count uint64
-		prev := addr.NoPFN
-		for pfn := b.heads[o]; pfn != addr.NoPFN; pfn = b.next[b.idx(pfn)] {
+		prev := nilLink
+		for i := b.heads[o]; i != nilLink; i = b.next[i] {
+			pfn := b.pfnAt(i)
 			count++
 			if !addr.AlignedTo(pfn, o) {
 				return fmt.Errorf("order %d block %d misaligned", o, pfn)
@@ -417,7 +423,7 @@ func (b *Buddy) CheckInvariants() error {
 			if b.frames.Get(pfn).BuddyOrder != int8(o) {
 				return fmt.Errorf("order %d block %d head marking mismatch", o, pfn)
 			}
-			if b.prev[b.idx(pfn)] != prev {
+			if b.prev[i] != prev {
 				return fmt.Errorf("order %d block %d prev-link broken", o, pfn)
 			}
 			n := addr.PFN(addr.OrderPages(o))
@@ -439,7 +445,7 @@ func (b *Buddy) CheckInvariants() error {
 				}
 			}
 			listedFree += addr.OrderPages(o)
-			prev = pfn
+			prev = i
 		}
 		if count != b.perOrderCount[o] {
 			return fmt.Errorf("order %d count %d != recorded %d", o, count, b.perOrderCount[o])
@@ -455,12 +461,12 @@ func (b *Buddy) CheckInvariants() error {
 		}
 	}
 	if b.sorted {
-		prev := addr.NoPFN
-		for pfn := b.heads[addr.MaxOrder]; pfn != addr.NoPFN; pfn = b.next[b.idx(pfn)] {
-			if prev != addr.NoPFN && pfn < prev {
-				return fmt.Errorf("MAX_ORDER list unsorted: %d after %d", pfn, prev)
+		prev := nilLink
+		for i := b.heads[addr.MaxOrder]; i != nilLink; i = b.next[i] {
+			if prev != nilLink && i < prev {
+				return fmt.Errorf("MAX_ORDER list unsorted: %d after %d", b.pfnAt(i), b.pfnAt(prev))
 			}
-			prev = pfn
+			prev = i
 		}
 	}
 	return nil

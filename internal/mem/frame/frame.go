@@ -42,7 +42,10 @@ func (s State) String() string {
 	}
 }
 
-// Frame is the per-page metadata record (Linux: struct page).
+// Frame is the per-page metadata record (Linux: struct page). The
+// single-byte fields are grouped so the struct packs into 12 bytes —
+// boot zeroes and fills one record per physical page, so record size
+// is machine-construction time.
 type Frame struct {
 	// State is the coarse usage state.
 	State State
@@ -55,6 +58,9 @@ type Frame struct {
 	// with (0 for 4K, 9 for THP), on the head frame of the allocation.
 	AllocOrder int8
 
+	// Zone is the NUMA node the frame belongs to.
+	Zone uint8
+
 	// MapCount counts the number of page-table mappings referencing the
 	// frame (Linux _mapcount+1 semantics simplified: 0 = unmapped).
 	MapCount int32
@@ -63,9 +69,6 @@ type Frame struct {
 	// block belongs to while free; 0 means none. (Linux re-purposes the
 	// page->mapping field the same way.)
 	Cluster uint32
-
-	// Zone is the NUMA node the frame belongs to.
-	Zone uint8
 }
 
 // Table is the machine-wide frame table, indexed by PFN.
@@ -82,12 +85,21 @@ func NewTable(base addr.PFN, nframes uint64) *Table {
 		frames: make([]Frame, nframes),
 		base:   base,
 	}
-	for i := range t.frames {
-		t.frames[i].State = Reserved
-		t.frames[i].BuddyOrder = -1
-		t.frames[i].AllocOrder = -1
-	}
+	Fill(t.frames, Frame{State: Reserved, BuddyOrder: -1, AllocOrder: -1})
 	return t
+}
+
+// Fill sets every record in fs to f via a doubling copy: boot-time
+// table initialisation is memmove-bound instead of paying per-field
+// stores for hundreds of thousands of frames.
+func Fill(fs []Frame, f Frame) {
+	if len(fs) == 0 {
+		return
+	}
+	fs[0] = f
+	for n := 1; n < len(fs); n *= 2 {
+		copy(fs[n:], fs[:n])
+	}
 }
 
 // Len returns the number of frames covered.
@@ -108,6 +120,20 @@ func (t *Table) Get(pfn addr.PFN) *Frame {
 		panic(fmt.Sprintf("frame: PFN %d outside table [%d,%d)", pfn, t.base, uint64(t.base)+t.Len()))
 	}
 	return &t.frames[pfn-t.base]
+}
+
+// Slice returns the records for [pfn, pfn+n) as a slice, bounds-checked
+// once. Callers touching every frame of a block (buddy mark loops, boot
+// release) use it instead of n Get calls.
+func (t *Table) Slice(pfn addr.PFN, n uint64) []Frame {
+	if n == 0 {
+		return nil
+	}
+	if !t.Contains(pfn) || !t.Contains(pfn+addr.PFN(n-1)) {
+		panic(fmt.Sprintf("frame: range [%d,%d) outside table [%d,%d)", pfn, uint64(pfn)+n, t.base, uint64(t.base)+t.Len()))
+	}
+	i := uint64(pfn - t.base)
+	return t.frames[i : i+n]
 }
 
 // IsFree reports whether the frame is free (available to the allocator).

@@ -72,8 +72,9 @@ func NewMachine(cfg Config) *Machine {
 			Buddy:  b,
 			Contig: contigmap.New(ft, b),
 		}
-		for p := base; p < base+addr.PFN(n); p++ {
-			ft.Get(p).Zone = uint8(i)
+		fs := ft.Slice(base, n)
+		for j := range fs {
+			fs[j].Zone = uint8(i)
 		}
 		m.Zones = append(m.Zones, z)
 		base += addr.PFN(n)
@@ -109,28 +110,35 @@ func (m *Machine) ZoneOf(pfn addr.PFN) *Zone {
 	return nil
 }
 
-// zonelist returns zones in allocation preference order starting from
-// the preferred zone.
-func (m *Machine) zonelist(preferred int) []*Zone {
-	if preferred < 0 || preferred >= len(m.Zones) {
+// zonelist visits zones in allocation preference order starting from
+// the preferred zone, stopping early when fn returns true. Allocation
+// sits on the fault hot path, so the walk materialises no slice.
+func (m *Machine) zonelist(preferred int, fn func(z *Zone) bool) {
+	n := len(m.Zones)
+	if preferred < 0 || preferred >= n {
 		preferred = 0
 	}
-	out := make([]*Zone, 0, len(m.Zones))
-	for i := 0; i < len(m.Zones); i++ {
-		out = append(out, m.Zones[(preferred+i)%len(m.Zones)])
+	for i := 0; i < n; i++ {
+		if fn(m.Zones[(preferred+i)%n]) {
+			return
+		}
 	}
-	return out
 }
 
 // AllocBlock allocates a 2^order block, preferring the given zone and
 // falling back across the zonelist.
 func (m *Machine) AllocBlock(preferred, order int) (addr.PFN, error) {
-	for _, z := range m.zonelist(preferred) {
-		if pfn, err := z.Buddy.AllocBlock(order); err == nil {
-			return pfn, nil
+	var out addr.PFN
+	err := buddy.ErrNoMemory
+	m.zonelist(preferred, func(z *Zone) bool {
+		pfn, e := z.Buddy.AllocBlock(order)
+		if e != nil {
+			return false
 		}
-	}
-	return 0, buddy.ErrNoMemory
+		out, err = pfn, nil
+		return true
+	})
+	return out, err
 }
 
 // AllocBlockAt performs a targeted allocation wherever pfn lives.
@@ -181,12 +189,15 @@ func (m *Machine) Reserve(pfn addr.PFN, npages uint64) error {
 // map, falling back across the zonelist when a zone's map is empty.
 // It returns the zone chosen along with the placement.
 func (m *Machine) FindFit(preferred int, pages uint64) (z *Zone, start addr.PFN, avail uint64, ok bool) {
-	for _, cand := range m.zonelist(preferred) {
-		if s, a, found := cand.Contig.FindFit(pages); found {
-			return cand, s, a, true
+	m.zonelist(preferred, func(cand *Zone) bool {
+		s, a, found := cand.Contig.FindFit(pages)
+		if !found {
+			return false
 		}
-	}
-	return nil, 0, 0, false
+		z, start, avail, ok = cand, s, a, true
+		return true
+	})
+	return z, start, avail, ok
 }
 
 // FreeBlockHistogram buckets the machine's free contiguity by size: the

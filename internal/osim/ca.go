@@ -138,7 +138,7 @@ func (CAPolicy) PlaceFile(k *Kernel, f *File, pageIdx uint64, order int) (addr.P
 	key := addr.VirtAddr(pageIdx << addr.PageShift)
 	placed := false
 	if !f.placedOffset {
-		remaining := f.Pages() - uint64(len(f.pages))
+		remaining := f.Pages() - f.CachedPages()
 		if _, start, _, ok := k.Machine.FindFit(0, remaining); ok {
 			f.offset = addr.OffsetOf(key, start.Addr())
 			f.placedOffset = true
@@ -150,7 +150,7 @@ func (CAPolicy) PlaceFile(k *Kernel, f *File, pageIdx uint64, order int) (addr.P
 			return pfn, placed, nil
 		}
 		// Re-place once keyed by the remaining uncached pages.
-		remaining := f.Pages() - uint64(len(f.pages))
+		remaining := f.Pages() - f.CachedPages()
 		if remaining == 0 {
 			remaining = 1
 		}

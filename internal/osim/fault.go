@@ -16,22 +16,45 @@ func (p *Process) Touch(va addr.VirtAddr, write bool) (bool, error) {
 		return false, ErrSegfault
 	}
 	v.MarkTouched(uint64(va-v.Start) / addr.PageSize)
-	pte, _, ok := p.PT.Lookup(va)
-	if ok {
-		if write && pte.Flags.Has(pagetable.CoW) {
-			return true, p.kernel.cowFault(p, v, va)
+	pte := p.lastLeaf
+	if pte == nil || p.lastLeafGen != p.PT.Generation() ||
+		uint64(va-p.lastLeafBase) >= p.lastLeafSpan {
+		var pages uint64
+		var ok bool
+		pte, pages, ok = p.PT.Lookup(va)
+		if !ok {
+			p.lastLeaf = nil
+			return true, p.kernel.demandFault(p, v, va, write)
 		}
-		pte.Flags |= pagetable.Accessed
-		if write {
-			pte.Flags |= pagetable.Dirty
-		}
-		return false, nil
+		span := pages * addr.PageSize
+		p.lastLeaf = pte
+		p.lastLeafBase = addr.VirtAddr(uint64(va) &^ (span - 1))
+		p.lastLeafSpan = span
+		p.lastLeafGen = p.PT.Generation()
 	}
-	return true, p.kernel.demandFault(p, v, va, write)
+	if write && pte.Flags.Has(pagetable.CoW) {
+		// cowFault remaps the page; drop the memo so the next touch
+		// re-resolves (the generation bump would catch it anyway).
+		p.lastLeaf = nil
+		return true, p.kernel.cowFault(p, v, va)
+	}
+	pte.Flags |= pagetable.Accessed
+	if write {
+		pte.Flags |= pagetable.Dirty
+	}
+	return false, nil
 }
 
-// Translate resolves va through the process page table (no fault).
+// Translate resolves va through the process page table (no fault). The
+// last-leaf memo serves the common populate pattern (Touch immediately
+// followed by Translate of the same page) without a second descend; the
+// memo only ever holds a present leaf and is invalidated by the
+// generation check on any structural table change.
 func (p *Process) Translate(va addr.VirtAddr) (addr.PhysAddr, bool) {
+	if p.lastLeaf != nil && p.lastLeafGen == p.PT.Generation() &&
+		uint64(va-p.lastLeafBase) < p.lastLeafSpan {
+		return p.lastLeaf.PFN.Addr() + addr.PhysAddr(uint64(va-p.lastLeafBase)), true
+	}
 	return p.PT.Translate(va)
 }
 
@@ -247,7 +270,9 @@ func (k *Kernel) MigratePage(p *Process, va addr.VirtAddr, dst addr.PFN) bool {
 	if pages == 512 {
 		order = addr.HugeOrder
 	}
-	pte.PFN = dst
+	// Redirect (not a raw pte.PFN write): migration changes the
+	// translation, so the table generation must move with it.
+	p.PT.Redirect(va, dst)
 	f := k.Machine.Frames.Get(old)
 	f.MapCount--
 	if f.MapCount <= 0 {

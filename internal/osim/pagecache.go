@@ -22,8 +22,12 @@ type File struct {
 	ID    int
 	Bytes uint64
 
-	// pages maps file page index -> cached frame.
-	pages map[uint64]addr.PFN
+	// pages holds the cached frame of each file page, indexed by file
+	// page number and encoded as PFN+1 (0 = not resident): a dense
+	// array beats a map in the readahead fill loop, and the +1
+	// encoding makes a fresh zeroed slice mean "nothing cached".
+	pages  []addr.PFN
+	cached uint64
 
 	// CA paging per-file placement state (struct address_space Offset).
 	offset       addr.Offset
@@ -34,7 +38,26 @@ type File struct {
 func (f *File) Pages() uint64 { return addr.BytesToPages(f.Bytes) }
 
 // CachedPages returns how many of the file's pages are resident.
-func (f *File) CachedPages() uint64 { return uint64(len(f.pages)) }
+func (f *File) CachedPages() uint64 { return f.cached }
+
+// cachedPFN returns the frame caching file page idx, if resident.
+func (f *File) cachedPFN(idx uint64) (addr.PFN, bool) {
+	v := f.pages[idx]
+	if v == 0 {
+		return 0, false
+	}
+	return v - 1, true
+}
+
+func (f *File) setCached(idx uint64, pfn addr.PFN) {
+	f.pages[idx] = pfn + 1
+	f.cached++
+}
+
+func (f *File) dropCached(idx uint64) {
+	f.pages[idx] = 0
+	f.cached--
+}
 
 // PageCache is the system-wide cache of file pages.
 type PageCache struct {
@@ -52,7 +75,7 @@ func newPageCache(k *Kernel) *PageCache {
 // CreateFile registers a file of the given size.
 func (c *PageCache) CreateFile(bytes uint64) *File {
 	c.nextID++
-	f := &File{ID: c.nextID, Bytes: bytes, pages: make(map[uint64]addr.PFN)}
+	f := &File{ID: c.nextID, Bytes: bytes, pages: make([]addr.PFN, addr.BytesToPages(bytes))}
 	c.files[f.ID] = f
 	return f
 }
@@ -66,7 +89,7 @@ func (c *PageCache) File(id int) *File { return c.files[id] }
 // under read() syscalls, so only mapping faults (fileFault) count
 // toward the Table V fault statistics.
 func (c *PageCache) lookupOrFill(f *File, pageIdx uint64) (addr.PFN, error) {
-	if pfn, ok := f.pages[pageIdx]; ok {
+	if pfn, ok := f.cachedPFN(pageIdx); ok {
 		return pfn, nil
 	}
 	k := c.kernel
@@ -75,20 +98,21 @@ func (c *PageCache) lookupOrFill(f *File, pageIdx uint64) (addr.PFN, error) {
 		end = f.Pages()
 	}
 	for i := pageIdx; i < end; i++ {
-		if _, ok := f.pages[i]; ok {
+		if _, ok := f.cachedPFN(i); ok {
 			continue
 		}
 		pfn, placed, err := k.Policy.PlaceFile(k, f, i, 0)
 		if err != nil {
 			return 0, err
 		}
-		f.pages[i] = pfn
+		f.setCached(i, pfn)
 		c.ResidentPages++
 		// Cache frames are owned by the cache: one base reference.
 		k.Machine.Frames.Get(pfn).MapCount++
 		k.Tick(k.faultLatency(0, placed))
 	}
-	return f.pages[pageIdx], nil
+	pfn, _ := f.cachedPFN(pageIdx)
+	return pfn, nil
 }
 
 // Read simulates a buffered read of [off, off+n) bytes: it populates
@@ -107,23 +131,21 @@ func (c *PageCache) Read(f *File, off, n uint64) error {
 
 // DropFile evicts a file's pages from the cache, freeing frames whose
 // only reference was the cache. Pages are freed in file order: the
-// free sequence feeds the buddy free lists, so map-iteration order
-// here would make every later allocation run-to-run nondeterministic.
+// free sequence feeds the buddy free lists, so any other order would
+// make every later allocation run-to-run nondeterministic.
 func (c *PageCache) DropFile(f *File) {
 	k := c.kernel
-	idxs := make([]uint64, 0, len(f.pages))
-	for idx := range f.pages {
-		idxs = append(idxs, idx)
-	}
-	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
-	for _, idx := range idxs {
-		pfn := f.pages[idx]
+	for idx := uint64(0); idx < f.Pages(); idx++ {
+		pfn, ok := f.cachedPFN(idx)
+		if !ok {
+			continue
+		}
 		fr := k.Machine.Frames.Get(pfn)
 		fr.MapCount--
 		if fr.MapCount <= 0 {
 			k.Machine.FreeBlock(pfn, 0)
 		}
-		delete(f.pages, idx)
+		f.dropCached(idx)
 		c.ResidentPages--
 	}
 	f.placedOffset = false

@@ -128,10 +128,14 @@ func TestCAFilePlacementContiguous(t *testing.T) {
 		}
 	}
 	// File pages must be physically consecutive.
-	first := f.pages[0]
+	first, ok := f.cachedPFN(0)
+	if !ok {
+		t.Fatal("file page 0 not cached")
+	}
 	for i := uint64(1); i < 64; i++ {
-		if f.pages[i] != first+addr.PFN(i) {
-			t.Fatalf("file page %d at %d, want %d (scattered cache)", i, f.pages[i], first+addr.PFN(i))
+		pfn, ok := f.cachedPFN(i)
+		if !ok || pfn != first+addr.PFN(i) {
+			t.Fatalf("file page %d at %d, want %d (scattered cache)", i, pfn, first+addr.PFN(i))
 		}
 	}
 }

@@ -69,6 +69,12 @@ type Table struct {
 	mapped4K   uint64 // live 4 KiB leaves
 	mapped2M   uint64 // live 2 MiB leaves
 	ContigBits uint64 // leaves currently carrying the Contig bit
+
+	// gen counts translation-visible mutations (Map4K/Map2M/Unmap/
+	// SetContig). Software caches of walk results — the simulator-side
+	// analogue of the hardware paging-structure caches — key their
+	// entries to this counter and self-invalidate when it moves.
+	gen uint64
 }
 
 // New creates an empty 4-level table (PGD..PT).
@@ -86,6 +92,12 @@ func NewWithLevels(levels int) *Table {
 
 // Levels returns the table depth.
 func (t *Table) Levels() int { return t.top + 1 }
+
+// Generation returns the table's mutation counter. It increases
+// monotonically on every Map4K, Map2M, Unmap, and effective SetContig;
+// a cached walk result is valid only while the generation it was
+// filled under still matches.
+func (t *Table) Generation() uint64 { return t.gen }
 
 // Mapped4K returns the number of live 4 KiB leaf entries.
 func (t *Table) Mapped4K() uint64 { return t.mapped4K }
@@ -183,6 +195,7 @@ func (t *Table) Map4K(v addr.VirtAddr, pfn addr.PFN, flags Flags) {
 	n.leaves[i] = PTE{PFN: pfn, Flags: flags | Present}
 	n.live++
 	t.mapped4K++
+	t.gen++
 	if flags.Has(Contig) {
 		t.ContigBits++
 	}
@@ -214,6 +227,7 @@ func (t *Table) Map2M(v addr.VirtAddr, pfn addr.PFN, flags Flags) {
 	n.leaves[i] = PTE{PFN: pfn, Flags: flags | Present}
 	n.live++
 	t.mapped2M++
+	t.gen++
 	if flags.Has(Contig) {
 		t.ContigBits++
 	}
@@ -256,10 +270,26 @@ func (t *Table) SetContig(v addr.VirtAddr, on bool) bool {
 	if on && !had {
 		pte.Flags |= Contig
 		t.ContigBits++
+		t.gen++
 	} else if !on && had {
 		pte.Flags &^= Contig
 		t.ContigBits--
+		t.gen++
 	}
+	return true
+}
+
+// Redirect points the leaf covering v at a new frame, preserving its
+// flags and size — page migration. Unlike mutating the PTE through
+// Lookup's pointer, Redirect bumps the generation, so walk caches never
+// serve the pre-migration frame.
+func (t *Table) Redirect(v addr.VirtAddr, pfn addr.PFN) bool {
+	pte, _, ok := t.Lookup(v)
+	if !ok {
+		return false
+	}
+	pte.PFN = pfn
+	t.gen++
 	return true
 }
 
@@ -278,6 +308,7 @@ func (t *Table) Unmap(v addr.VirtAddr) (PTE, uint64, bool) {
 			n.leaves[i] = PTE{}
 			n.live--
 			t.mapped2M--
+			t.gen++
 			if e.Flags.Has(Contig) {
 				t.ContigBits--
 			}
@@ -291,6 +322,7 @@ func (t *Table) Unmap(v addr.VirtAddr) (PTE, uint64, bool) {
 			n.leaves[i] = PTE{}
 			n.live--
 			t.mapped4K--
+			t.gen++
 			if e.Flags.Has(Contig) {
 				t.ContigBits--
 			}

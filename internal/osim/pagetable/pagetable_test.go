@@ -209,3 +209,45 @@ func BenchmarkWalk(b *testing.B) {
 		pt.Walk(addr.VirtAddr(i%4096) << addr.PageShift)
 	}
 }
+
+// TestGenerationBumps pins the generation-counter contract the walk
+// cache builds on: every translation-visible mutation must move the
+// counter; pure reads and no-op mutations must not.
+func TestGenerationBumps(t *testing.T) {
+	pt := New()
+	g := pt.Generation()
+	bump := func(what string, fn func()) {
+		t.Helper()
+		fn()
+		if pt.Generation() == g {
+			t.Fatalf("%s did not bump the generation", what)
+		}
+		g = pt.Generation()
+	}
+	same := func(what string, fn func()) {
+		t.Helper()
+		fn()
+		if pt.Generation() != g {
+			t.Fatalf("%s bumped the generation but changed no translation", what)
+		}
+	}
+	bump("Map4K", func() { pt.Map4K(0x1000, 7, 0) })
+	bump("Map2M", func() { pt.Map2M(addr.VirtAddr(addr.HugeSize), 512, 0) })
+	bump("SetContig on", func() { pt.SetContig(0x1000, true) })
+	same("idempotent SetContig", func() { pt.SetContig(0x1000, true) })
+	bump("SetContig off", func() { pt.SetContig(0x1000, false) })
+	bump("Redirect", func() {
+		if !pt.Redirect(0x1000, 99) {
+			t.Fatal("Redirect of a mapped page failed")
+		}
+	})
+	same("failed Redirect", func() { pt.Redirect(0xdead000, 1) })
+	same("reads", func() {
+		pt.Lookup(0x1000)
+		pt.Translate(0x1000)
+		pt.Walk(0x1000)
+	})
+	bump("Unmap 4K", func() { pt.Unmap(0x1000) })
+	bump("Unmap 2M", func() { pt.Unmap(addr.VirtAddr(addr.HugeSize)) })
+	same("failed Unmap", func() { pt.Unmap(0x1000) })
+}

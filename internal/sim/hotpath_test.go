@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem/addr"
+	"repro/internal/osim"
+	"repro/internal/workloads"
+)
+
+// mutStream replays a fixed access list through the legacy Next
+// interface, running side-effect hooks before chosen indices — the
+// mid-stream page-table mutations the walk cache must observe.
+type mutStream struct {
+	accs  []workloads.Access
+	hooks map[int]func()
+	i     int
+}
+
+func (s *mutStream) Next() (workloads.Access, bool) {
+	if s.i >= len(s.accs) {
+		return workloads.Access{}, false
+	}
+	if h := s.hooks[s.i]; h != nil {
+		h()
+	}
+	a := s.accs[s.i]
+	s.i++
+	return a, true
+}
+
+// TestWalkCacheInvalidation pins the self-invalidation contract: after
+// pages are unmapped mid-stream, the memoized walk must miss (the
+// generation moved) and the unmapped pages must surface as counted
+// demand faults on the retry path — a stale cache would keep serving
+// the old translations with Faults = 0. The cached and uncached runs
+// must agree on every counter.
+func TestWalkCacheInvalidation(t *testing.T) {
+	const pages = 512
+	unmapped := []uint64{3, 100, 200}
+	run := func(noCache bool) Result {
+		env := nativeEnv(t, osim.CAPolicy{})
+		// 4K mappings so the 512-page sweep exceeds TLB reach and every
+		// access exercises the translate path.
+		env.Kernel.THPEnabled = false
+		v, err := env.MMap(pages * addr.PageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.Populate(v); err != nil {
+			t.Fatal(err)
+		}
+		var accs []workloads.Access
+		for sweep := 0; sweep < 2; sweep++ {
+			for i := uint64(0); i < pages; i++ {
+				accs = append(accs, workloads.Access{VA: v.Start.Add(i * addr.PageSize)})
+			}
+		}
+		hooks := map[int]func(){pages: func() {
+			for _, i := range unmapped {
+				if _, _, ok := env.Proc.PT.Unmap(v.Start.Add(i * addr.PageSize)); !ok {
+					t.Fatal("unmap target not mapped")
+				}
+			}
+		}}
+		res, err := Run(env, &mutStream{accs: accs, hooks: hooks}, Config{NoWalkCache: noCache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cached := run(false)
+	if cached.Faults != uint64(len(unmapped)) {
+		t.Fatalf("faults = %d, want %d (a stale walk cache would still serve the unmapped pages)",
+			cached.Faults, len(unmapped))
+	}
+	if uncached := run(true); cached != uncached {
+		t.Fatalf("cached and uncached results differ:\n%+v\n%+v", cached, uncached)
+	}
+}
+
+// TestRunZeroAllocs pins the zero-allocation property of the
+// steady-state access loop, schemes included: once the machine is warm,
+// step must not touch the heap.
+func TestRunZeroAllocs(t *testing.T) {
+	env := virtEnv(t, osim.CAPolicy{}, osim.CAPolicy{})
+	w := workloads.NewPageRank()
+	if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	accs := benchAccesses(t, w, 1<<14)
+	m := warmMachine(t, env, Config{EnableSchemes: true}, accs)
+	i := 0
+	avg := testing.AllocsPerRun(len(accs), func() {
+		if err := m.step(accs[i%len(accs)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state step allocates %.2f objects per access, want 0", avg)
+	}
+}
+
+// nextOnlyStream hides a stream's native Fill, forcing Run through the
+// Next-draining compatibility adapter.
+type nextOnlyStream struct{ s workloads.Stream }
+
+func (n nextOnlyStream) Next() (workloads.Access, bool) { return n.s.Next() }
+
+// TestBatchedRunMatchesNextOnly runs every workload once through the
+// native batched path and once through the legacy Next adapter: the
+// two Results must be identical field for field — batching is an
+// execution detail, never a semantic one.
+func TestBatchedRunMatchesNextOnly(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			run := func(adapter bool) Result {
+				env := nativeEnv(t, osim.CAPolicy{})
+				if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+					t.Fatal(err)
+				}
+				var s workloads.Stream = w.Stream(rand.New(rand.NewSource(2)), 30_000)
+				if adapter {
+					s = nextOnlyStream{s}
+				}
+				res, err := Run(env, s, Config{EnableSchemes: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			if batched, legacy := run(false), run(true); batched != legacy {
+				t.Fatalf("batched run diverged from Next-only run:\n%+v\n%+v", batched, legacy)
+			}
+		})
+	}
+}

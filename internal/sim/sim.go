@@ -49,6 +49,12 @@ type Config struct {
 	// ShadowExitCycles is the cost of one shadow-sync hypervisor exit
 	// (default 1200 cycles, a VM-exit round trip).
 	ShadowExitCycles float64
+	// NoWalkCache disables the software walk-memoization cache (the
+	// simulator's paging-structure-cache analogue). Results are
+	// identical either way — the cache self-invalidates on page-table
+	// generation changes — so the toggle exists only for regression
+	// comparison and microbenchmarks.
+	NoWalkCache bool
 }
 
 // Defaults fills zero fields.
@@ -113,97 +119,176 @@ func (r Result) MissRatio() float64 {
 	return float64(r.Misses) / float64(r.Accesses)
 }
 
+// accessBatch is the refill size of the reusable access buffer Run
+// drains streams through: large enough to amortize the interface
+// dispatch of Fill, small enough to stay cache-resident (24 KiB).
+const accessBatch = 1024
+
+// machine bundles the hardware state of one simulation run. Its step
+// method is the steady-state per-access hot loop and performs zero
+// heap allocations (pinned by TestRunZeroAllocs and the
+// BenchmarkRun* allocation reports); everything that allocates
+// happens in newMachine or on the rare fault/error paths.
+type machine struct {
+	env    *workloads.Env
+	cfg    Config
+	tlb    *tlb.TLB
+	wc     *walkCache
+	shadow *virt.ShadowTable
+	sp     *spot.Table
+	rt     *rmm.RangeTLB
+	rtab   *rmm.Table
+	seg    *ds.Segment
+	res    Result
+}
+
+// newMachine builds the per-run hardware state.
+func newMachine(env *workloads.Env, cfg Config) *machine {
+	m := &machine{env: env, cfg: cfg, tlb: tlb.New(cfg.TLBEntries, cfg.TLBWays)}
+	if !cfg.NoWalkCache {
+		if env.VM != nil {
+			m.wc = newWalkCache(env.VM.NestedTables(env.Proc))
+		} else {
+			m.wc = newWalkCache(env.Proc.PT, nil)
+		}
+	}
+	if cfg.ShadowPaging && env.VM != nil {
+		m.shadow = env.VM.NewShadow(env.Proc)
+	}
+	if cfg.EnableSchemes {
+		m.sp = spot.New(cfg.SpotEntries, cfg.SpotWays)
+		m.sp.DisableConfidence = cfg.SpotNoConfidence
+		m.sp.IgnoreFilter = cfg.SpotNoFilter
+		m.rt = rmm.NewRangeTLB(cfg.RangeTLBEntries)
+		m.rtab = rmm.NewTable(extractMappings(env))
+		m.seg = buildSegment(env)
+	}
+	return m
+}
+
 // Run drives n accesses of the workload stream through the machinery.
 // The environment must already be set up (populated) by the workload.
 func Run(env *workloads.Env, stream workloads.Stream, cfg Config) (Result, error) {
-	cfg = cfg.withDefaults()
-	t := tlb.New(cfg.TLBEntries, cfg.TLBWays)
-	var res Result
-
-	var shadow *virt.ShadowTable
-	if cfg.ShadowPaging && env.VM != nil {
-		shadow = env.VM.NewShadow(env.Proc)
-	}
-
-	var sp *spot.Table
-	var rt *rmm.RangeTLB
-	var rtab *rmm.Table
-	var seg *ds.Segment
-	if cfg.EnableSchemes {
-		sp = spot.New(cfg.SpotEntries, cfg.SpotWays)
-		sp.DisableConfidence = cfg.SpotNoConfidence
-		sp.IgnoreFilter = cfg.SpotNoFilter
-		rt = rmm.NewRangeTLB(cfg.RangeTLBEntries)
-		rtab = rmm.NewTable(extractMappings(env))
-		seg = buildSegment(env)
-	}
-
+	m := newMachine(env, cfg.withDefaults())
+	bs := workloads.Batched(stream)
+	buf := make([]workloads.Access, accessBatch)
 	for {
-		a, ok := stream.Next()
-		if !ok {
+		n := bs.Fill(buf)
+		if n == 0 {
 			break
 		}
-		res.Accesses++
-		if t.Lookup(a.VA) {
-			continue
+		for i := range buf[:n] {
+			if err := m.step(buf[i]); err != nil {
+				return m.res, err
+			}
 		}
-		res.Misses++
+	}
+	return m.finish(), nil
+}
 
-		hpa, leafHuge, cost, gContig, hContig, ok := resolve(env, a.VA)
-		if shadow != nil {
-			if shpa, lvl, synced, sok := shadow.Walk(a.VA); sok {
-				hpa, ok = shpa, true
+// finish derives the aggregate fields and returns the counters.
+func (m *machine) finish() Result {
+	if m.res.Misses > 0 {
+		m.res.AvgWalkCycles = m.res.WalkCycles / float64(m.res.Misses)
+	}
+	return m.res
+}
+
+// step processes one access: TLB probe, and on a miss the baseline
+// walk (memoized), the optional shadow walk, the demand-fault retry,
+// and the per-scheme emulation.
+func (m *machine) step(a workloads.Access) error {
+	m.res.Accesses++
+	if m.tlb.Lookup(a.VA) {
+		return nil
+	}
+	m.res.Misses++
+
+	hpa, leafHuge, cost, gContig, hContig, ok := m.translate(a.VA)
+	if m.shadow != nil {
+		if shpa, lvl, synced, sok := m.shadow.Walk(a.VA); sok {
+			hpa, ok = shpa, true
+			leafHuge = lvl == pagetable.HugeLevel
+			cost = walker.NativeCost(lvl)
+			if synced {
+				cost += m.cfg.ShadowExitCycles
+				m.res.ShadowSyncs++
+			}
+		}
+	}
+	if !ok {
+		// The stream touched something unpopulated: fault it in and
+		// retry (counted; should be rare).
+		m.res.Faults++
+		if err := m.env.Touch(a.VA, a.Write); err != nil {
+			return fmt.Errorf("sim: fault at %v: %w", a.VA, err)
+		}
+		hpa, leafHuge, cost, gContig, hContig, ok = m.translate(a.VA)
+		if !ok {
+			return fmt.Errorf("sim: unresolvable access at %v", a.VA)
+		}
+		// Under shadow paging the faulted access still goes through the
+		// shadow table: the guest's new mapping forces a shadow sync
+		// exit, not a plain nested/native walk.
+		if m.shadow != nil {
+			if shpa, lvl, synced, sok := m.shadow.Walk(a.VA); sok {
+				hpa = shpa
 				leafHuge = lvl == pagetable.HugeLevel
 				cost = walker.NativeCost(lvl)
 				if synced {
-					cost += cfg.ShadowExitCycles
-					res.ShadowSyncs++
+					cost += m.cfg.ShadowExitCycles
+					m.res.ShadowSyncs++
 				}
 			}
 		}
-		if !ok {
-			// The stream touched something unpopulated: fault it in and
-			// retry (counted; should be rare).
-			res.Faults++
-			if err := env.Touch(a.VA, a.Write); err != nil {
-				return res, fmt.Errorf("sim: fault at %v: %w", a.VA, err)
-			}
-			hpa, leafHuge, cost, gContig, hContig, ok = resolve(env, a.VA)
-			if !ok {
-				return res, fmt.Errorf("sim: unresolvable access at %v", a.VA)
-			}
-		}
-		res.WalkCycles += cost
-		t.Insert(a.VA, leafHuge)
+	}
+	m.res.WalkCycles += cost
+	m.tlb.Insert(a.VA, leafHuge)
 
-		if !cfg.EnableSchemes {
-			continue
-		}
-		// SpOT: predict before the walk, verify after.
-		pred, did := sp.Predict(a.PC, a.VA)
-		switch sp.Verify(a.PC, a.VA, hpa, pred, did, gContig && hContig) {
-		case spot.Correct:
-			res.SpotCorrect++
-		case spot.Mispredict:
-			res.SpotMispredict++
-		default:
-			res.SpotNoPred++
-		}
-		// vRMM.
-		if _, covered := rt.Lookup(a.VA, rtab); covered {
-			res.RMMHits++
-		} else {
-			res.RMMUncovered++
-		}
-		// Direct Segments dual direct mode.
-		if _, hit := seg.Lookup(a.VA); !hit {
-			res.DSMisses++
-		}
+	if !m.cfg.EnableSchemes {
+		return nil
 	}
-	if res.Misses > 0 {
-		res.AvgWalkCycles = res.WalkCycles / float64(res.Misses)
+	// SpOT: predict before the walk, verify after.
+	pred, did := m.sp.Predict(a.PC, a.VA)
+	switch m.sp.Verify(a.PC, a.VA, hpa, pred, did, gContig && hContig) {
+	case spot.Correct:
+		m.res.SpotCorrect++
+	case spot.Mispredict:
+		m.res.SpotMispredict++
+	default:
+		m.res.SpotNoPred++
 	}
-	return res, nil
+	// vRMM.
+	if _, covered := m.rt.Lookup(a.VA, m.rtab); covered {
+		m.res.RMMHits++
+	} else {
+		m.res.RMMUncovered++
+	}
+	// Direct Segments dual direct mode.
+	if _, hit := m.seg.Lookup(a.VA); !hit {
+		m.res.DSMisses++
+	}
+	return nil
+}
+
+// translate performs the baseline walk for va through the walk cache:
+// a hot miss is one array probe; only cold or invalidated VPNs pay the
+// full trie descent of resolve.
+func (m *machine) translate(va addr.VirtAddr) (hpa addr.PhysAddr, leafHuge bool, cost float64, gContig, hContig, ok bool) {
+	if m.wc == nil {
+		return resolve(m.env, va)
+	}
+	vpn := uint64(va) >> addr.PageShift
+	if e, hit := m.wc.probe(vpn); hit {
+		return e.hpa + addr.PhysAddr(uint64(va)&addr.PageMask), e.leafHuge, e.cost, e.gContig, e.hContig, true
+	}
+	hpa, leafHuge, cost, gContig, hContig, ok = resolve(m.env, va)
+	if ok {
+		// The in-page offset of hpa equals va's: caching the page-base
+		// hPA makes the entry valid for every offset within the VPN.
+		m.wc.fill(vpn, hpa-addr.PhysAddr(uint64(va)&addr.PageMask), leafHuge, cost, gContig, hContig)
+	}
+	return hpa, leafHuge, cost, gContig, hContig, ok
 }
 
 // resolve performs the baseline translation for va: a nested walk in a

@@ -192,6 +192,15 @@ func (vm *VM) Walk(p *osim.Process, gva addr.VirtAddr) NestedWalk {
 	}
 }
 
+// NestedTables returns the two page tables a nested walk for p
+// consults: the guest table (gVA→gPA) and the host backing table
+// (host VA→hPA). Walk memoization keys its entries to these tables'
+// generation counters: a cached gVA→hPA composition is valid only
+// while *both* generations stand still.
+func (vm *VM) NestedTables(p *osim.Process) (guest, host *pagetable.Table) {
+	return p.PT, vm.HostProc.PT
+}
+
 // Mappings2D extracts the VM's full 2D (gVA→hPA) contiguous mappings
 // for a guest process — the in-house VMI tool of §V: walk the guest
 // page table, compose each extent with the host (nested) translations,

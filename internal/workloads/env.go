@@ -127,6 +127,43 @@ type Stream interface {
 	Next() (Access, bool)
 }
 
+// BatchStream is a Stream that can refill a caller-owned buffer in one
+// call, amortizing the per-access interface dispatch of Next. Fill
+// writes up to len(buf) accesses and returns how many it wrote; 0 means
+// exhausted. The sequence produced by repeated Fill calls is identical
+// to the sequence repeated Next calls would produce — batching is an
+// execution detail, never a semantic one.
+type BatchStream interface {
+	Stream
+	Fill(buf []Access) int
+}
+
+// Batched returns a batch-refill view of s: the stream itself when it
+// implements BatchStream natively, or a compatibility adapter that
+// drains Next into the buffer for legacy generators.
+func Batched(s Stream) BatchStream {
+	if b, ok := s.(BatchStream); ok {
+		return b
+	}
+	return &nextAdapter{s: s}
+}
+
+// nextAdapter lifts a Next-only Stream to BatchStream.
+type nextAdapter struct{ s Stream }
+
+func (a *nextAdapter) Next() (Access, bool) { return a.s.Next() }
+
+func (a *nextAdapter) Fill(buf []Access) int {
+	for i := range buf {
+		acc, ok := a.s.Next()
+		if !ok {
+			return i
+		}
+		buf[i] = acc
+	}
+	return len(buf)
+}
+
 // Workload is one of the paper's benchmarks.
 type Workload interface {
 	// Name is the paper's benchmark name.
@@ -153,6 +190,20 @@ func (s *funcStream) Next() (Access, bool) {
 	}
 	s.i++
 	return s.next(), true
+}
+
+// Fill implements BatchStream natively: one generator call per slot,
+// in exactly the order Next would have produced.
+func (s *funcStream) Fill(buf []Access) int {
+	n := uint64(len(buf))
+	if rem := s.n - s.i; rem < n {
+		n = rem
+	}
+	for i := uint64(0); i < n; i++ {
+		buf[i] = s.next()
+	}
+	s.i += n
+	return int(n)
 }
 
 // region is a populated VMA the stream generators index into.

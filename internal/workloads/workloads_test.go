@@ -190,3 +190,65 @@ func TestHogDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// nextOnly hides a stream's native Fill so Batched must fall back to
+// the compatibility adapter.
+type nextOnly struct{ s Stream }
+
+func (n nextOnly) Next() (Access, bool) { return n.s.Next() }
+
+// TestFillMatchesNext pins the batching contract for every workload:
+// the sequence produced by repeated Fill calls — through the native
+// implementation and through the Next adapter, at buffer sizes that
+// never divide the stream evenly — is identical to a plain Next drain.
+func TestFillMatchesNext(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			k := osim.NewKernel(machineFor(t), osim.CAPolicy{})
+			env := NewNativeEnv(k, 0)
+			if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+				t.Fatal(err)
+			}
+			const n = 10_000
+			want := make([]Access, 0, n)
+			ref := w.Stream(rand.New(rand.NewSource(3)), n)
+			for {
+				a, ok := ref.Next()
+				if !ok {
+					break
+				}
+				want = append(want, a)
+			}
+			if len(want) != n {
+				t.Fatalf("Next drain produced %d accesses, want %d", len(want), n)
+			}
+			for _, bufLen := range []int{1, 7, 1024, n + 1} {
+				for _, adapt := range []bool{false, true} {
+					var s Stream = w.Stream(rand.New(rand.NewSource(3)), n)
+					if adapt {
+						s = nextOnly{s}
+					}
+					bs := Batched(s)
+					got := make([]Access, 0, n)
+					buf := make([]Access, bufLen)
+					for {
+						k := bs.Fill(buf)
+						if k == 0 {
+							break
+						}
+						got = append(got, buf[:k]...)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("bufLen %d adapter %v: %d accesses, want %d", bufLen, adapt, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("bufLen %d adapter %v: access %d = %+v, want %+v", bufLen, adapt, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
