@@ -32,10 +32,13 @@ func AblationPlacement(p Params) (*Table, error) {
 		}
 		envA := workloads.NewNativeEnv(k, 0)
 		envB := workloads.NewNativeEnv(k, 0)
-		stA, stB, err := interleavedSVMPair(k, envA, envB, workloads.NewSVM(), workloads.NewSVM())
-		if err != nil {
+		envA.NoRangeFault = p.NoRangeFault
+		envB.NoRangeFault = p.NoRangeFault
+		if err := interleavedSVMPair(envA, envB, workloads.NewSVM().FootprintBytes()); err != nil {
 			return nil, err
 		}
+		stA := contigOf(metrics.FromPageTable(envA.Proc.PT))
+		stB := contigOf(metrics.FromPageTable(envB.Proc.PT))
 		name := "next-fit"
 		if firstFit {
 			name = "first-fit"
@@ -133,6 +136,7 @@ func AblationOffsetBudget(p Params) (*Table, error) {
 		k.OffsetBudget = budget
 		workloads.Hog(k.Machine, 0.35, rand.New(rand.NewSource(7)))
 		env := workloads.NewNativeEnv(k, 0)
+		env.NoRangeFault = p.NoRangeFault
 		// A 192 MiB VMA populated in *random* 2 MiB-region order: under
 		// fragmentation the VMA needs many sub-placements, and faults
 		// jumping between regions need the offsets of all of them — a
@@ -144,10 +148,8 @@ func AblationOffsetBudget(p Params) (*Table, error) {
 		order := rand.New(rand.NewSource(2)).Perm(int(v.Size() / (2 << 20)))
 		for _, region := range order {
 			base := uint64(region) * (2 << 20)
-			for o := base; o < base+(2<<20); o += addr.PageSize {
-				if err := env.Touch(v.Start.Add(o), true); err != nil {
-					return nil, err
-				}
+			if err := env.PopulateRange(v, v.Start.Add(base), 2<<20); err != nil {
+				return nil, err
 			}
 		}
 		st := contigOf(metrics.FromPageTable(env.Proc.PT))
@@ -180,6 +182,7 @@ func AblationSpotConfidence(p Params) (*Table, error) {
 			return nil, err
 		}
 		env := workloads.NewVirtEnv(vm, 0)
+		env.NoRangeFault = p.NoRangeFault
 		w := workloads.NewSVM()
 		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return nil, err
@@ -218,6 +221,7 @@ func AblationSpotGeometry(p Params) (*Table, error) {
 			return nil, err
 		}
 		env := workloads.NewVirtEnv(vm, 0)
+		env.NoRangeFault = p.NoRangeFault
 		w := workloads.NewHashJoin()
 		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return nil, err

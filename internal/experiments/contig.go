@@ -7,7 +7,6 @@ import (
 	"repro/internal/mem/addr"
 	"repro/internal/metrics"
 	"repro/internal/osim"
-	"repro/internal/osim/daemon"
 	"repro/internal/workloads"
 )
 
@@ -61,7 +60,11 @@ func Fig8(p Params) (*Table, error) {
 		[]string{"svm", "pagerank", "hashjoin", "xsbench"}, AllPolicies())
 }
 
-// Fig8Sweep is the parameterized core of Fig8.
+// Fig8Sweep is the parameterized core of Fig8. Every (pressure,
+// policy, workload) cell builds its own hogged kernel, so the whole
+// grid fans out on the bounded worker pool the way Fig7 does; the
+// geomean rows are assembled from the per-cell results in grid order
+// afterwards, so output is byte-identical at any Jobs level.
 func Fig8Sweep(p Params, pressures []float64, names []string, policies []PolicyName) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 8: contiguity under memory pressure (geomean, NUMA off)",
@@ -70,23 +73,38 @@ func Fig8Sweep(p Params, pressures []float64, names []string, policies []PolicyN
 			"paper shape: eager collapses with pressure; CA tracks ideal; THP/Ingens flat and poor",
 		},
 	}
-	for _, pressure := range pressures {
-		for _, pol := range policies {
+	type cell struct{ c32, c128, m99 float64 }
+	cells := make([]cell, len(pressures)*len(policies)*len(names))
+	err := forEach(len(cells), p.jobs(), func(i int) error {
+		pressure := pressures[i/(len(policies)*len(names))]
+		pol := policies[(i/len(names))%len(policies)]
+		name := names[i%len(names)]
+		k, ds := newNativeKernel(pol, true /* numaOff */)
+		workloads.Hog(k.Machine, pressure, rand.New(rand.NewSource(42)))
+		env := workloads.NewNativeEnv(k, 0)
+		env.Daemons = ds
+		env.NoRangeFault = p.NoRangeFault
+		w := workloads.ByName(name)
+		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
+			return fmt.Errorf("fig8 %s/%s@%.0f%%: %w", name, pol, pressure*100, err)
+		}
+		settleDaemons(k, ds, p.SettleEpochs)
+		st := contigOf(metrics.FromPageTable(env.Proc.PT))
+		cells[i] = cell{c32: st.Cov32, c128: st.Cov128, m99: float64(st.Maps99)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, pressure := range pressures {
+		for qi, pol := range policies {
+			base := (pi*len(policies) + qi) * len(names)
 			var c32, c128, m99 []float64
-			for _, name := range names {
-				k, ds := newNativeKernel(pol, true /* numaOff */)
-				workloads.Hog(k.Machine, pressure, rand.New(rand.NewSource(42)))
-				env := workloads.NewNativeEnv(k, 0)
-				env.Daemons = ds
-				w := workloads.ByName(name)
-				if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
-					return nil, fmt.Errorf("fig8 %s/%s@%.0f%%: %w", name, pol, pressure*100, err)
-				}
-				settleDaemons(k, ds, p.SettleEpochs)
-				st := contigOf(metrics.FromPageTable(env.Proc.PT))
-				c32 = append(c32, st.Cov32)
-				c128 = append(c128, st.Cov128)
-				m99 = append(m99, float64(st.Maps99))
+			for ni := range names {
+				c := cells[base+ni]
+				c32 = append(c32, c.c32)
+				c128 = append(c128, c.c128)
+				m99 = append(m99, c.m99)
 			}
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("hog-%.0f%%", pressure*100), string(pol),
@@ -123,6 +141,7 @@ func Fig9(p Params) (*Table, error) {
 		for _, w := range workloads.All() {
 			env := workloads.NewNativeEnv(k, 0)
 			env.Daemons = ds
+			env.NoRangeFault = p.NoRangeFault
 			if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 				return nil, fmt.Errorf("fig9 %s/%s: %w", w.Name(), pol, err)
 			}
@@ -188,21 +207,20 @@ func Fig10(p Params) (*Table, error) {
 		envB := workloads.NewNativeEnv(k, 0)
 		envA.Daemons = ds
 		envB.Daemons = ds
-		wA, wB := workloads.NewSVM(), workloads.NewSVM()
+		envA.NoRangeFault = p.NoRangeFault
+		envB.NoRangeFault = p.NoRangeFault
 		// Interleave the two setups burst-wise via goroutine-free
 		// stepping: run each setup whole but alternating would need
 		// coroutines; instead approximate the paper's concurrency by
 		// populating A and B in interleaved manual bursts over two
-		// plain anonymous footprints of SVM size, then overlaying each
-		// workload's own setup for the file/model parts sequentially.
-		stA, stB, err := interleavedSVMPair(k, envA, envB, wA, wB)
-		if err != nil {
+		// plain anonymous footprints of SVM size.
+		if err := interleavedSVMPair(envA, envB, workloads.NewSVM().FootprintBytes()); err != nil {
 			return nil, err
 		}
 		settleDaemons(k, ds, p.SettleEpochs)
-		// Re-measure after daemons (matters for ranger).
-		stA = contigOf(metrics.FromPageTable(envA.Proc.PT))
-		stB = contigOf(metrics.FromPageTable(envB.Proc.PT))
+		// Measure after daemons settle (matters for ranger).
+		stA := contigOf(metrics.FromPageTable(envA.Proc.PT))
+		stB := contigOf(metrics.FromPageTable(envB.Proc.PT))
 		t.Rows = append(t.Rows, []string{
 			string(pol), f3(stA.Cov32), f3(stB.Cov32),
 			fmt.Sprint(stA.Maps99), fmt.Sprint(stB.Maps99),
@@ -211,18 +229,17 @@ func Fig10(p Params) (*Table, error) {
 	return t, nil
 }
 
-// interleavedSVMPair populates two SVM-sized anonymous footprints in
+// interleavedSVMPair populates two size-byte anonymous footprints in
 // alternating 8 MiB bursts — the time-sliced concurrency of two
-// processes — and returns each one's contiguity.
-func interleavedSVMPair(k *osim.Kernel, envA, envB *workloads.Env, wA, wB *workloads.SVM) (ContigStats, ContigStats, error) {
-	size := wA.FootprintBytes()
+// processes.
+func interleavedSVMPair(envA, envB *workloads.Env, size uint64) error {
 	va, err := envA.MMap(size)
 	if err != nil {
-		return ContigStats{}, ContigStats{}, err
+		return err
 	}
 	vb, err := envB.MMap(size)
 	if err != nil {
-		return ContigStats{}, ContigStats{}, err
+		return err
 	}
 	const burst = 8 << 20
 	for off := uint64(0); off < size; off += burst {
@@ -230,20 +247,14 @@ func interleavedSVMPair(k *osim.Kernel, envA, envB *workloads.Env, wA, wB *workl
 		if end > size {
 			end = size
 		}
-		for o := off; o < end; o += addr.PageSize {
-			if err := envA.Touch(va.Start.Add(o), true); err != nil {
-				return ContigStats{}, ContigStats{}, err
-			}
+		if err := envA.PopulateRange(va, va.Start.Add(off), end-off); err != nil {
+			return err
 		}
-		for o := off; o < end; o += addr.PageSize {
-			if err := envB.Touch(vb.Start.Add(o), true); err != nil {
-				return ContigStats{}, ContigStats{}, err
-			}
+		if err := envB.PopulateRange(vb, vb.Start.Add(off), end-off); err != nil {
+			return err
 		}
 	}
-	_ = wB
-	return contigOf(metrics.FromPageTable(envA.Proc.PT)),
-		contigOf(metrics.FromPageTable(envB.Proc.PT)), nil
+	return nil
 }
 
 // Fig1b reproduces the motivation plot (Fig. 1b): 32-largest-mapping
@@ -273,6 +284,7 @@ func Fig1b(p Params) (*Table, error) {
 			workloads.HogFine(k.Machine, 0.03, rand.New(rand.NewSource(int64(run)*7+1)))
 			env := workloads.NewNativeEnv(k, 0)
 			env.Daemons = ds
+			env.NoRangeFault = p.NoRangeFault
 			w := workloads.NewPageRank()
 			if err := w.Setup(env, rand.New(rand.NewSource(p.Seed+int64(run)-1))); err != nil {
 				return nil, fmt.Errorf("fig1b %s run %d: %w", pol, run, err)
@@ -317,6 +329,7 @@ func Fig1c(p Params) (*Table, error) {
 		workloads.HogFine(k.Machine, 0.15, rand.New(rand.NewSource(5)))
 		env := workloads.NewNativeEnv(k, 0)
 		env.Daemons = ds
+		env.NoRangeFault = p.NoRangeFault
 		sampler := &coverageSampler{env: env}
 		env.Daemons = append(env.Daemons, sampler)
 		w := workloads.NewXSBench()
@@ -355,13 +368,22 @@ type coverageSampler struct {
 }
 
 // Maybe samples every ~4096 touches (cheap enough, frequent enough).
-func (s *coverageSampler) Maybe() {
-	s.touches++
+func (s *coverageSampler) Maybe() { s.MaybeN(1) }
+
+// MaybeN absorbs n back-to-back polls, firing a sample at every exact
+// crossing of the sampling period, just like n Maybe calls would. This
+// is only valid because force reads the page table, which cannot change
+// between polls of one quiet run — so samples taken "late" (all at the
+// end of the run) record exactly what samples taken at each crossing
+// would have recorded.
+func (s *coverageSampler) MaybeN(n uint64) {
 	every := s.every
 	if every == 0 {
 		every = 4096
 	}
-	if s.touches%every == 0 {
+	prev := s.touches
+	s.touches += n
+	for k := prev/every + 1; k*every <= s.touches; k++ {
 		s.force()
 	}
 }
@@ -389,14 +411,3 @@ func (s *coverageSampler) resample(n int) []float64 {
 	}
 	return out
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// Guard against unused imports during incremental development.
-var _ = daemon.NewRanger
-var _ = osim.NewKernel

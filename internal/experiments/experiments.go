@@ -221,6 +221,7 @@ func runNativeContig(p Params, w workloads.Workload, pol PolicyName) (ContigStat
 	k, ds := newNativeKernel(pol, false)
 	env := workloads.NewNativeEnv(k, 0)
 	env.Daemons = ds
+	env.NoRangeFault = p.NoRangeFault
 	if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 		return ContigStats{}, nil, nil, fmt.Errorf("%s/%s: %w", w.Name(), pol, err)
 	}

@@ -84,6 +84,7 @@ func ExtraFiveLevel(p Params) (*Table, error) {
 		vm.Guest.PageTableLevels = levels
 		hostK.PageTableLevels = levels
 		env := workloads.NewVirtEnv(vm, 0)
+		env.NoRangeFault = p.NoRangeFault
 		w := workloads.NewPageRank()
 		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return nil, err

@@ -28,6 +28,12 @@ type Params struct {
 	// (runner.TestWalkCacheToggleMatches pins this); the toggle exists
 	// for regression comparison and debugging.
 	NoWalkCache bool
+	// NoRangeFault disables the batched range-fault population path in
+	// every driver: workload Setup falls back to the historical
+	// per-page Touch loop. Tables are byte-identical either way
+	// (runner.TestRangeFaultToggleMatches pins this); the toggle exists
+	// for regression comparison and debugging.
+	NoRangeFault bool
 }
 
 // DefaultParams returns the paper-scale defaults the cmd/reproduce

@@ -118,6 +118,60 @@ func TestDefaultJobs(t *testing.T) {
 	}
 }
 
+// reducedParams shrinks the sweep further for the two full-registry
+// gates below: every registered experiment runs twice under -race, so
+// the stream and settle window are cut to keep the suite fast while
+// still exercising every driver's population and measurement paths.
+func reducedParams() experiments.Params {
+	return experiments.Params{StreamLen: 30_000, SettleEpochs: 40, Seed: 1}
+}
+
+// TestRangeFaultToggleMatches is the batching contract of the
+// range-fault fast path, pinned across the *entire* registry: disabling
+// the batched population path (falling back to the historical per-page
+// Touch loop with a full daemon poll after every touch) must not change
+// a single byte of any table. Population order, fault accounting,
+// daemon firing points, and logical clocks are all observable in the
+// tables, so this is an end-to-end equivalence proof.
+func TestRangeFaultToggleMatches(t *testing.T) {
+	ids := experiments.IDs()
+	p := reducedParams()
+	batched, err := Run(context.Background(), ids, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.NoRangeFault = true
+	perPage, err := Run(context.Background(), ids, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := render(t, batched), render(t, perPage); !bytes.Equal(a, b) {
+		t.Fatalf("range-fault toggle changed output:\n--- batched ---\n%s\n--- per-page ---\n%s", a, b)
+	}
+}
+
+// TestFig8JobsInvariance pins the fan-out of the fragmentation sweep:
+// the (pressure, policy, workload) grid runs cell-per-worker now, and
+// the geomean rows assembled from the cells must be byte-identical at
+// any parallelism level.
+func TestFig8JobsInvariance(t *testing.T) {
+	ids := []string{"fig8"}
+	p := reducedParams()
+	p.Jobs = 1
+	seq, err := Run(context.Background(), ids, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Jobs = 8
+	par, err := Run(context.Background(), ids, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := render(t, seq), render(t, par); !bytes.Equal(a, b) {
+		t.Fatalf("fig8 output depends on Jobs:\n--- jobs=1 ---\n%s\n--- jobs=8 ---\n%s", a, b)
+	}
+}
+
 // TestWalkCacheToggleMatches extends the determinism gate across the
 // walk-cache toggle: disabling the memo must not change a single byte
 // of any translation table — the cache is a pure execution

@@ -38,6 +38,7 @@ func ExtraShadowFor(p Params, names []string) (*Table, error) {
 				return nil, err
 			}
 			env := workloads.NewVirtEnv(vm, 0)
+			env.NoRangeFault = p.NoRangeFault
 			if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 				return nil, fmt.Errorf("shadow %s: %w", name, err)
 			}

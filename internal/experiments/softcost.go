@@ -34,6 +34,7 @@ func Fig11For(p Params, names []string) (*Table, error) {
 			k, ds := newNativeKernel(pol, false)
 			env := workloads.NewNativeEnv(k, 0)
 			env.Daemons = ds
+			env.NoRangeFault = p.NoRangeFault
 			if err := workloads.ByName(w.Name()).Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 				return nil, fmt.Errorf("fig11 %s/%s: %w", w.Name(), pol, err)
 			}
@@ -96,6 +97,7 @@ func Table5For(p Params, names []string) (*Table, error) {
 		k, ds := newNativeKernel(pol, false)
 		env := workloads.NewNativeEnv(k, 0)
 		env.Daemons = ds
+		env.NoRangeFault = p.NoRangeFault
 		if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return fmt.Errorf("table5 %s/%s: %w", name, pol, err)
 		}
@@ -139,6 +141,7 @@ func Table6For(p Params, names []string) (*Table, error) {
 			k, ds := newNativeKernel(pol, false)
 			env := workloads.NewNativeEnv(k, 0)
 			env.Daemons = ds
+			env.NoRangeFault = p.NoRangeFault
 			if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 				return nil, fmt.Errorf("table6 %s/%s: %w", name, pol, err)
 			}

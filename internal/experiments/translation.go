@@ -38,6 +38,7 @@ func runTranslation(p Params, name string) (translationRun, error) {
 			k.THPEnabled = thp
 			env = workloads.NewNativeEnv(k, 0)
 		}
+		env.NoRangeFault = p.NoRangeFault
 		w := workloads.ByName(name)
 		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return sim.Result{}, fmt.Errorf("%s setup: %w", name, err)
@@ -160,6 +161,7 @@ func Fig14For(p Params, names []string) (*Table, error) {
 			return err
 		}
 		env := workloads.NewVirtEnv(vm, 0)
+		env.NoRangeFault = p.NoRangeFault
 		wl := workloads.ByName(name)
 		if err := wl.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return fmt.Errorf("fig14 %s: %w", name, err)
@@ -211,6 +213,7 @@ func Table7For(p Params, names []string) (*Table, error) {
 			return err
 		}
 		env := workloads.NewVirtEnv(vm, 0)
+		env.NoRangeFault = p.NoRangeFault
 		wl := workloads.ByName(name)
 		if err := wl.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return fmt.Errorf("table7 %s: %w", name, err)

@@ -18,6 +18,7 @@ package buddy
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/mem/addr"
 	"repro/internal/mem/frame"
@@ -63,6 +64,13 @@ type Buddy struct {
 
 	freePages     uint64
 	perOrderCount [addr.MaxOrder + 1]uint64
+
+	// nonEmpty is a bitmap of orders with a non-empty free list: bit o
+	// is set iff heads[o] != nilLink. "Smallest free block >= order" is
+	// then a TrailingZeros over the shifted bitmap instead of a list
+	// scan, and "largest free order" a Len — the fault path asks both
+	// on every allocation.
+	nonEmpty uint32
 
 	sorted bool
 	hooks  Hooks
@@ -189,6 +197,7 @@ func (b *Buddy) listInsert(pfn addr.PFN, order int) {
 	}
 	b.frames.Get(pfn).BuddyOrder = int8(order)
 	b.perOrderCount[order]++
+	b.nonEmpty |= 1 << order
 	if order == addr.MaxOrder && b.hooks.MaxOrderInsert != nil {
 		b.hooks.MaxOrderInsert(pfn)
 	}
@@ -209,6 +218,9 @@ func (b *Buddy) listRemove(pfn addr.PFN, order int) {
 	}
 	b.frames.Get(pfn).BuddyOrder = -1
 	b.perOrderCount[order]--
+	if b.heads[order] == nilLink {
+		b.nonEmpty &^= 1 << order
+	}
 }
 
 func (b *Buddy) markAllocated(pfn addr.PFN, order int) {
@@ -240,16 +252,11 @@ func (b *Buddy) AllocBlock(order int) (addr.PFN, error) {
 	if order < 0 || order > addr.MaxOrder {
 		return 0, fmt.Errorf("buddy: invalid order %d", order)
 	}
-	from := -1
-	for o := order; o <= addr.MaxOrder; o++ {
-		if b.heads[o] != nilLink {
-			from = o
-			break
-		}
-	}
-	if from < 0 {
+	avail := b.nonEmpty >> order
+	if avail == 0 {
 		return 0, ErrNoMemory
 	}
+	from := order + bits.TrailingZeros32(avail)
 	pfn := b.pfnAt(b.heads[from])
 	b.listRemove(pfn, from)
 	// Split down to the requested order, returning upper halves.
@@ -397,12 +404,7 @@ func (b *Buddy) VisitMaxOrder(fn func(pfn addr.PFN)) {
 // available (possibly after coalescing state already reflected in the
 // lists), or -1 if memory is exhausted.
 func (b *Buddy) LargestAlignedFree() int {
-	for o := addr.MaxOrder; o >= 0; o-- {
-		if b.heads[o] != nilLink {
-			return o
-		}
-	}
-	return -1
+	return bits.Len32(b.nonEmpty) - 1
 }
 
 // CheckInvariants validates the allocator's internal consistency. It is
@@ -449,6 +451,9 @@ func (b *Buddy) CheckInvariants() error {
 		}
 		if count != b.perOrderCount[o] {
 			return fmt.Errorf("order %d count %d != recorded %d", o, count, b.perOrderCount[o])
+		}
+		if has, bit := b.heads[o] != nilLink, b.nonEmpty&(1<<o) != 0; has != bit {
+			return fmt.Errorf("order %d non-empty bit %v but list head says %v", o, bit, has)
 		}
 	}
 	if listedFree != b.freePages {

@@ -47,12 +47,23 @@ func NewIngens(k *osim.Kernel) *Ingens {
 }
 
 // Maybe runs a scan epoch if the period elapsed.
-func (d *Ingens) Maybe() {
-	if d.Kernel.Clock-d.lastRun < d.Period {
-		return
+func (d *Ingens) Maybe() { d.MaybeN(1) }
+
+// MaybeN absorbs n consecutive polls issued across a run of
+// non-faulting touches — observably identical to n Maybe calls with no
+// intervening simulator activity. The logical clock only moves through
+// the daemon's own epochs during such a run, so the first poll that
+// finds the gate closed proves every remaining poll is a no-op; an
+// epoch that advances the clock past the period keeps the loop live,
+// exactly as per-poll execution would.
+func (d *Ingens) MaybeN(n uint64) {
+	for ; n > 0; n-- {
+		if d.Kernel.Clock-d.lastRun < d.Period {
+			return
+		}
+		d.lastRun = d.Kernel.Clock
+		d.Scan()
 	}
-	d.lastRun = d.Kernel.Clock
-	d.Scan()
 }
 
 // Scan promotes every eligible huge region of every process.
@@ -90,14 +101,11 @@ func (d *Ingens) scanVMA(p *osim.Process, v *vma.VMA) {
 }
 
 // regionFullyMapped reports whether every base page of the 2 MiB region
-// is mapped 4K.
+// is mapped 4K. The leaf table's live count answers this in one
+// descent; probing all 512 slots per region made the scan cost of
+// every settle epoch quadratic in footprint.
 func regionFullyMapped(pt *pagetable.Table, base addr.VirtAddr) bool {
-	for off := uint64(0); off < addr.HugeSize; off += addr.PageSize {
-		if _, pages, ok := pt.Lookup(base.Add(off)); !ok || pages != 1 {
-			return false
-		}
-	}
-	return true
+	return pt.HugeRegionFull4K(base)
 }
 
 // promote replaces 512 base mappings with one huge mapping, copying
@@ -160,12 +168,18 @@ func NewRanger(k *osim.Kernel) *Ranger {
 }
 
 // Maybe runs a defragmentation epoch if the period elapsed.
-func (d *Ranger) Maybe() {
-	if d.Kernel.Clock-d.lastRun < d.Period {
-		return
+func (d *Ranger) Maybe() { d.MaybeN(1) }
+
+// MaybeN absorbs n consecutive polls of a non-faulting run; see
+// Ingens.MaybeN for the gate argument, which holds here identically.
+func (d *Ranger) MaybeN(n uint64) {
+	for ; n > 0; n-- {
+		if d.Kernel.Clock-d.lastRun < d.Period {
+			return
+		}
+		d.lastRun = d.Kernel.Clock
+		d.Epoch()
 	}
-	d.lastRun = d.Kernel.Clock
-	d.Epoch()
 }
 
 // Epoch scans all processes and migrates up to PagesPerEpoch pages

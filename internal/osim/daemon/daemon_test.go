@@ -1,6 +1,7 @@
 package daemon
 
 import (
+	"reflect"
 	"sort"
 	"testing"
 
@@ -220,5 +221,79 @@ func TestRangerLeavesInPlaceMappingsAlone(t *testing.T) {
 	d.Epoch()
 	if k.Stats.Migrations != before {
 		t.Fatal("ranger keeps migrating a converged footprint")
+	}
+}
+
+// TestMaybeNMatchesMaybeLoop pins the BatchDaemon contract the
+// range-fault population path relies on: MaybeN(n) must leave the
+// kernel in exactly the state n back-to-back Maybe calls do — gate
+// checks, epoch work (promotions, migrations, their clock Ticks), and
+// re-fires when an epoch's own latency pushes the clock past another
+// period, all included. Two interleaved processes give both daemons
+// real work (fragmented frames for Ranger, 4K regions for Ingens).
+func TestMaybeNMatchesMaybeLoop(t *testing.T) {
+	type batcher interface {
+		Maybe()
+		MaybeN(uint64)
+	}
+	cases := []struct {
+		name string
+		make func(k *osim.Kernel) batcher
+	}{
+		{"ingens", func(k *osim.Kernel) batcher { return NewIngens(k) }},
+		{"ranger", func(k *osim.Kernel) batcher { return NewRanger(k) }},
+	}
+	const n = 5000
+	leavesOf := func(p *osim.Process) []pagetable.Leaf {
+		var out []pagetable.Leaf
+		p.PT.Visit(func(l pagetable.Leaf) { out = append(out, l) })
+		return out
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			run := func(batched bool) (*osim.Kernel, []pagetable.Leaf, []pagetable.Leaf) {
+				k := newKernel(t, 64, osim.DefaultPolicy{})
+				d := c.make(k)
+				p1 := k.NewProcess(0)
+				p2 := k.NewProcess(0)
+				v1, err := p1.MMap(4 * addr.HugeSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				v2, err := p2.MMap(4 * addr.HugeSize)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for off := uint64(0); off < v1.Size(); off += addr.PageSize {
+					if _, err := p1.Touch(v1.Start.Add(off), true); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := p2.Touch(v2.Start.Add(off), true); err != nil {
+						t.Fatal(err)
+					}
+				}
+				k.Tick(3_000_000) // past the period: the first poll fires
+				if batched {
+					d.MaybeN(n)
+				} else {
+					for i := 0; i < n; i++ {
+						d.Maybe()
+					}
+				}
+				return k, leavesOf(p1), leavesOf(p2)
+			}
+			ka, a1, a2 := run(false)
+			kb, b1, b2 := run(true)
+			if ka.Clock != kb.Clock {
+				t.Errorf("clock: loop %d, batched %d", ka.Clock, kb.Clock)
+			}
+			if !reflect.DeepEqual(ka.Stats, kb.Stats) {
+				t.Errorf("stats diverge:\nloop    %+v\nbatched %+v", ka.Stats, kb.Stats)
+			}
+			if !reflect.DeepEqual(a1, b1) || !reflect.DeepEqual(a2, b2) {
+				t.Error("page tables diverge between Maybe loop and MaybeN")
+			}
+		})
 	}
 }

@@ -15,6 +15,13 @@ func (p *Process) Touch(va addr.VirtAddr, write bool) (bool, error) {
 	if v == nil {
 		return false, ErrSegfault
 	}
+	return p.TouchAt(v, va, write)
+}
+
+// TouchAt is Touch with the containing VMA already resolved: the
+// range-fault path hoists the VMA lookup out of its per-page loop. v
+// must be the VMA containing va.
+func (p *Process) TouchAt(v *vma.VMA, va addr.VirtAddr, write bool) (bool, error) {
 	v.MarkTouched(uint64(va-v.Start) / addr.PageSize)
 	pte := p.lastLeaf
 	if pte == nil || p.lastLeafGen != p.PT.Generation() ||
@@ -73,20 +80,45 @@ func (k *Kernel) demandFault(p *Process, v *vma.VMA, va addr.VirtAddr, write boo
 }
 
 // canMapHuge reports whether the huge-aligned region around va can take
-// a 2 MiB mapping: fully inside the VMA and currently empty.
+// a 2 MiB mapping: fully inside the VMA and currently empty. Emptiness
+// is a leaf-table presence check — one radix descent to the PMD slot.
+// (It used to probe all 512 page slots; the common case, first touch of
+// an untouched region, ran the *whole* loop before concluding empty.)
 func (k *Kernel) canMapHuge(p *Process, v *vma.VMA, va addr.VirtAddr) bool {
 	base := va.HugeDown()
 	if base < v.Start || base.Add(addr.HugeSize) > v.End {
 		return false
 	}
-	// Probe the region for existing 4K leaves. The common case — first
-	// touch of an untouched region — exits on the first probe.
-	for off := uint64(0); off < addr.HugeSize; off += addr.PageSize {
-		if _, _, ok := p.PT.Lookup(base.Add(off)); ok {
-			return false
-		}
+	return p.PT.HugeRegionEmpty(base)
+}
+
+// TouchRangeQuiet touches up to maxPages consecutive pages starting at
+// va, advancing only while no fault would be taken: each page must be
+// present and, on a write, not copy-on-write. It sets the hardware
+// Accessed/Dirty bits and the touched bitmap exactly as the per-page
+// TouchAt loop would, but walks each resolved leaf table linearly
+// instead of descending per page. It stops before the first page that
+// needs the fault path and returns how many pages it advanced over. v
+// must contain [va, va+maxPages*4K).
+func (p *Process) TouchRangeQuiet(v *vma.VMA, va addr.VirtAddr, maxPages uint64, write bool) uint64 {
+	set := pagetable.Accessed
+	var stop pagetable.Flags
+	if write {
+		set |= pagetable.Dirty
+		stop = pagetable.CoW
 	}
-	return true
+	var done uint64
+	for done < maxPages {
+		n := p.PT.FlagRun(va.Add(done*addr.PageSize), maxPages-done, set, stop)
+		if n == 0 {
+			break
+		}
+		done += n
+	}
+	if done > 0 {
+		v.MarkTouchedRange(uint64(va-v.Start)/addr.PageSize, done)
+	}
+	return done
 }
 
 // anonFault allocates and maps one block of the given order at va.

@@ -1,0 +1,58 @@
+package osim
+
+import (
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+// TestCanMapHugeProbeCount is the regression test for the quadratic
+// canMapHuge probe: the common case — first touch of an untouched
+// 2 MiB region — used to run 512 PT.Lookup calls before concluding the
+// region was empty. The leaf-table presence check (HugeRegionEmpty)
+// answers in one descent, so the whole huge fault now costs a handful
+// of lookups. The bound of 32 is loose on purpose: it catches the O(512)
+// regression without pinning the exact fault-path lookup count.
+func TestCanMapHugeProbeCount(t *testing.T) {
+	k := newKernel(t, 16, DefaultPolicy{})
+	p := k.NewProcess(0)
+	v, err := p.MMap(2 * addr.HugeSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Untouched region: the huge-eligibility check must not probe the
+	// 512 page slots one by one.
+	base := p.PT.Lookups()
+	if _, err := p.Touch(v.Start, true); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats.Faults[FaultHuge] != 1 {
+		t.Fatalf("huge faults = %d, want 1", k.Stats.Faults[FaultHuge])
+	}
+	if d := p.PT.Lookups() - base; d >= 32 {
+		t.Fatalf("first touch of empty region cost %d lookups, want < 32 (quadratic probe regressed)", d)
+	}
+
+	// Partially mapped region: a 4 KiB page already present must veto
+	// the huge mapping, still without a per-slot scan.
+	region := v.Start.Add(addr.HugeSize)
+	k.THPEnabled = false
+	if _, err := p.Touch(region, true); err != nil {
+		t.Fatal(err)
+	}
+	k.THPEnabled = true
+	base = p.PT.Lookups()
+	if _, err := p.Touch(region.Add(addr.PageSize), true); err != nil {
+		t.Fatal(err)
+	}
+	if k.Stats.Faults[FaultHuge] != 1 {
+		t.Fatalf("huge faults = %d after partial-region touch, want still 1", k.Stats.Faults[FaultHuge])
+	}
+	if k.Stats.Faults[Fault4K] != 2 {
+		t.Fatalf("4k faults = %d, want 2", k.Stats.Faults[Fault4K])
+	}
+	if d := p.PT.Lookups() - base; d >= 32 {
+		t.Fatalf("touch in partially-mapped region cost %d lookups, want < 32", d)
+	}
+}

@@ -75,6 +75,11 @@ type Table struct {
 	// analogue of the hardware paging-structure caches — key their
 	// entries to this counter and self-invalidate when it moves.
 	gen uint64
+
+	// lookups counts Lookup calls — the probe-cost observable the
+	// canMapHuge regression test pins (a 512-probe emptiness scan shows
+	// up here; a leaf-table presence check does not).
+	lookups uint64
 }
 
 // New creates an empty 4-level table (PGD..PT).
@@ -233,10 +238,15 @@ func (t *Table) Map2M(v addr.VirtAddr, pfn addr.PFN, flags Flags) {
 	}
 }
 
+// Lookups returns the number of Lookup calls served over the table's
+// lifetime (probe-cost accounting for tests).
+func (t *Table) Lookups() uint64 { return t.lookups }
+
 // Lookup returns a pointer to the leaf entry mapping v (4K or 2M) so
 // callers can update flags in place (contiguity bit, CoW resolution).
 // Returns the leaf size in base pages.
 func (t *Table) Lookup(v addr.VirtAddr) (pte *PTE, pages uint64, ok bool) {
+	t.lookups++
 	n := t.root
 	for l := t.top; l >= 0; l-- {
 		i := index(v, l)
@@ -258,6 +268,91 @@ func (t *Table) Lookup(v addr.VirtAddr) (pte *PTE, pages uint64, ok bool) {
 		n = n.children[i]
 	}
 	return nil, 0, false
+}
+
+// HugeRegionEmpty reports whether the 2 MiB region containing v has no
+// translations at all — no huge leaf and no live 4 KiB leaves. It is
+// the THP-eligibility probe: one radix descent to the PMD slot instead
+// of 512 per-page lookups. A leaf table's live count is authoritative
+// because only present leaves are counted (Map2M always sets Present,
+// so a huge slot implies a present mapping).
+func (t *Table) HugeRegionEmpty(v addr.VirtAddr) bool {
+	n := t.descend(v, HugeLevel, false)
+	if n == nil {
+		return true
+	}
+	i := index(v, HugeLevel)
+	if n.huge[i] {
+		return false
+	}
+	child := n.children[i]
+	return child == nil || child.live == 0
+}
+
+// HugeRegionFull4K reports whether every base page of the 2 MiB region
+// containing v is mapped by a 4 KiB leaf — the Ingens promotion
+// precondition, answered by the leaf table's live count instead of 512
+// per-slot probes.
+func (t *Table) HugeRegionFull4K(v addr.VirtAddr) bool {
+	n := t.descend(v, HugeLevel, false)
+	if n == nil {
+		return false
+	}
+	i := index(v, HugeLevel)
+	if n.huge[i] {
+		return false
+	}
+	child := n.children[i]
+	return child != nil && child.live == fanout
+}
+
+// FlagRun ORs set into consecutive present leaves starting at v (page
+// aligned) and returns how many base pages it advanced over. The run
+// stops at the first non-present slot, the first leaf carrying a flag
+// in stop, the end of the current leaf extent's table span, or limit —
+// whichever comes first. A huge leaf counts as its whole remaining
+// 512-page extent (one flag write covers it, exactly as per-page
+// touches of the same PTE would). Flag writes through FlagRun do not
+// bump the generation, matching in-place flag updates elsewhere. With
+// set == 0 it is a pure presence probe.
+//
+// This is the steady-state inner loop of the range-fault path: one
+// descent per leaf-table span, then a linear walk of the table's slots.
+func (t *Table) FlagRun(v addr.VirtAddr, limit uint64, set, stop Flags) uint64 {
+	if limit == 0 {
+		return 0
+	}
+	n := t.descend(v, HugeLevel, false)
+	if n == nil {
+		return 0
+	}
+	i := index(v, HugeLevel)
+	if n.huge[i] {
+		e := &n.leaves[i]
+		if !e.Present() || e.Flags&stop != 0 {
+			return 0
+		}
+		e.Flags |= set
+		span := (addr.HugeSize - (uint64(v) & addr.HugeMask)) / addr.PageSize
+		if span > limit {
+			span = limit
+		}
+		return span
+	}
+	child := n.children[i]
+	if child == nil {
+		return 0
+	}
+	var done uint64
+	for s := index(v, 0); s < fanout && done < limit; s++ {
+		e := &child.leaves[s]
+		if !e.Present() || e.Flags&stop != 0 {
+			break
+		}
+		e.Flags |= set
+		done++
+	}
+	return done
 }
 
 // SetContig sets or clears the contiguity bit on the leaf mapping v.

@@ -8,6 +8,7 @@ package vma
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -96,20 +97,65 @@ func (v *VMA) MarkTouched(pageIdx uint64) bool {
 	return true
 }
 
+// MarkTouchedRange records accesses to the n pages starting at pageIdx,
+// observably identical to n consecutive MarkTouched calls — the batched
+// form the range-fault path uses after a quiet (no-fault) walk.
+func (v *VMA) MarkTouchedRange(pageIdx, n uint64) {
+	end := pageIdx + n
+	if pages := v.Pages(); end > pages {
+		end = pages
+	}
+	if pageIdx >= end {
+		return
+	}
+	if v.touched == nil {
+		v.touched = make([]uint64, (v.Pages()+63)/64)
+	}
+	for i := pageIdx; i < end; i++ {
+		w, b := i/64, i%64
+		if v.touched[w]&(1<<b) == 0 {
+			v.touched[w] |= 1 << b
+			v.touchedPages++
+		}
+	}
+}
+
 // TouchedPages returns the number of distinct 4 KiB pages accessed.
 func (v *VMA) TouchedPages() uint64 { return v.touchedPages }
 
 // RegionTouched counts touched pages within [pageIdx, pageIdx+n), the
-// utilisation signal Ingens promotion uses.
+// utilisation signal Ingens promotion uses. It popcounts whole bitmap
+// words: the Ingens daemon probes every 2 MiB region of every VMA each
+// epoch, so the page-at-a-time scan this replaces dominated whole
+// sweeps under daemon-heavy policies.
 func (v *VMA) RegionTouched(pageIdx, n uint64) uint64 {
 	if v.touched == nil {
 		return 0
 	}
+	end := pageIdx + n
+	if pages := v.Pages(); end > pages {
+		end = pages
+	}
+	if pageIdx >= end {
+		return 0
+	}
 	var count uint64
-	for i := pageIdx; i < pageIdx+n && i < v.Pages(); i++ {
-		if v.touched[i/64]&(1<<(i%64)) != 0 {
-			count++
+	i := pageIdx
+	if r := i % 64; r != 0 {
+		w := v.touched[i/64] >> r
+		span := 64 - r
+		if span > end-i {
+			span = end - i
+			w &= 1<<span - 1
 		}
+		count += uint64(bits.OnesCount64(w))
+		i += span
+	}
+	for ; i+64 <= end; i += 64 {
+		count += uint64(bits.OnesCount64(v.touched[i/64]))
+	}
+	if i < end {
+		count += uint64(bits.OnesCount64(v.touched[i/64] & (1<<(end-i) - 1)))
 	}
 	return count
 }

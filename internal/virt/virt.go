@@ -29,6 +29,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/osim"
 	"repro/internal/osim/pagetable"
+	"repro/internal/osim/vma"
 )
 
 // VM is one virtual machine: a guest kernel plus its host backing.
@@ -41,6 +42,7 @@ type VM struct {
 	Guest *osim.Kernel
 
 	baseVA   addr.VirtAddr // host VA of guest physical address 0
+	hostVMA  *vma.VMA      // the single backing VMA spanning guest memory
 	memPages uint64
 }
 
@@ -97,6 +99,7 @@ func New(host *osim.Kernel, cfg Config) (*VM, error) {
 		HostProc: hostProc,
 		Guest:    guest,
 		baseVA:   hostVMA.Start,
+		hostVMA:  hostVMA,
 		memPages: pages,
 	}, nil
 }
@@ -121,17 +124,77 @@ func (vm *VM) NewGuestProcess(homeZone int) *osim.Process {
 // latencies) accumulates on the guest clock; nested fault time on the
 // host clock.
 func (vm *VM) Touch(p *osim.Process, gva addr.VirtAddr, write bool) error {
-	if _, err := p.Touch(gva, write); err != nil {
-		return fmt.Errorf("virt: guest fault: %w", err)
+	v := p.VMAs.Find(gva)
+	if v == nil {
+		return fmt.Errorf("virt: guest fault: %w", osim.ErrSegfault)
+	}
+	_, err := vm.TouchAt(p, v, gva, write)
+	return err
+}
+
+// TouchAt is Touch with the guest VMA already resolved. It reports
+// whether either dimension took a fault.
+func (vm *VM) TouchAt(p *osim.Process, v *vma.VMA, gva addr.VirtAddr, write bool) (bool, error) {
+	gf, err := p.TouchAt(v, gva, write)
+	if err != nil {
+		return false, fmt.Errorf("virt: guest fault: %w", err)
 	}
 	gpa, ok := p.Translate(gva)
 	if !ok {
-		return fmt.Errorf("virt: guest translation missing after fault at %v", gva)
+		return false, fmt.Errorf("virt: guest translation missing after fault at %v", gva)
 	}
-	if _, err := vm.HostProc.Touch(vm.HostVAOf(gpa), write); err != nil {
-		return fmt.Errorf("virt: nested fault: %w", err)
+	hf, err := vm.HostProc.TouchAt(vm.hostVMA, vm.HostVAOf(gpa), write)
+	if err != nil {
+		return false, fmt.Errorf("virt: nested fault: %w", err)
 	}
-	return nil
+	return gf || hf, nil
+}
+
+// TouchRangeQuiet advances over up to maxPages consecutive guest pages
+// starting at gva whose translations are present — and, on writes, not
+// copy-on-write — in BOTH dimensions, setting Accessed/Dirty bits and
+// touch bitmaps exactly as the per-page TouchAt loop would. It stops
+// before the first page needing either a guest or a nested fault and
+// returns how many pages it advanced over.
+//
+// Guest physical addresses are only contiguous within one guest leaf,
+// so the walk is chunked: resolve the guest leaf once, then hand its
+// gPA-contiguous extent to the host-side quiet walk. The guest leaf's
+// flag update commutes with the host-side touches (the two dimensions
+// share no state), so setting it once per chunk equals the per-page
+// interleaving.
+func (vm *VM) TouchRangeQuiet(p *osim.Process, v *vma.VMA, gva addr.VirtAddr, maxPages uint64, write bool) uint64 {
+	set := pagetable.Accessed
+	var stop pagetable.Flags
+	if write {
+		set |= pagetable.Dirty
+		stop = pagetable.CoW
+	}
+	var done uint64
+	for done < maxPages {
+		cur := gva.Add(done * addr.PageSize)
+		gpte, gpages, ok := p.PT.Lookup(cur)
+		if !ok || gpte.Flags&stop != 0 {
+			break
+		}
+		span := gpages * addr.PageSize
+		within := uint64(cur) & (span - 1)
+		chunk := (span - within) / addr.PageSize
+		if rem := maxPages - done; chunk > rem {
+			chunk = rem
+		}
+		gpa := gpte.PFN.Addr() + addr.PhysAddr(within)
+		hn := vm.HostProc.TouchRangeQuiet(vm.hostVMA, vm.HostVAOf(gpa), chunk, write)
+		if hn > 0 {
+			gpte.Flags |= set
+			v.MarkTouchedRange(uint64(cur-v.Start)/addr.PageSize, hn)
+			done += hn
+		}
+		if hn < chunk {
+			break
+		}
+	}
+	return done
 }
 
 // TranslateFull performs the full 2D translation gVA→gPA→hPA.

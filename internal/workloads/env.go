@@ -34,6 +34,29 @@ type Daemon interface {
 	Maybe()
 }
 
+// BatchDaemon is a Daemon that can absorb a run of consecutive polls in
+// one call. MaybeN(n) must be observably identical to n Maybe calls
+// issued back to back with no intervening simulator activity;
+// clock-gated daemons exploit that the logical clock cannot move
+// between such polls except through their own epochs, touch-counted
+// samplers just account n touches and fire at the exact crossings.
+type BatchDaemon interface {
+	Daemon
+	MaybeN(n uint64)
+}
+
+// maybeN delivers n back-to-back polls, batched when the daemon
+// supports it.
+func maybeN(d Daemon, n uint64) {
+	if b, ok := d.(BatchDaemon); ok {
+		b.MaybeN(n)
+		return
+	}
+	for ; n > 0; n-- {
+		d.Maybe()
+	}
+}
+
 // Env abstracts where a workload runs: native (kernel+process) or
 // inside a VM (guest process with nested backing).
 type Env struct {
@@ -44,6 +67,13 @@ type Env struct {
 	// Daemons are polled after every touch; they self-gate on the
 	// kernel's logical clock.
 	Daemons []Daemon
+
+	// NoRangeFault disables the batched range-fault population path:
+	// PopulateRange degrades to the historical per-page Touch loop.
+	// Every experiment table is byte-identical either way (pinned by
+	// runner.TestRangeFaultToggleMatches); the toggle exists for
+	// regression comparison and debugging.
+	NoRangeFault bool
 }
 
 // NewNativeEnv creates a process on the given kernel.
@@ -93,12 +123,107 @@ func (e *Env) PopulatePrefix(v *vma.VMA, bytes uint64) error {
 	if bytes > v.Size() {
 		bytes = v.Size()
 	}
-	for off := uint64(0); off < bytes; off += addr.PageSize {
-		if err := e.Touch(v.Start.Add(off), true); err != nil {
-			return fmt.Errorf("populate %v at +%d: %w", v, off, err)
+	return e.PopulateRange(v, v.Start, bytes)
+}
+
+// PopulateRange writes to every page of [start, start+bytes) within v —
+// the batched range-fault path. Its observable outcome is byte-
+// identical to the historical per-page loop (Touch(start+off, true)
+// for every page, polling every daemon after every touch); only the
+// execution strategy differs:
+//
+//   - the containing VMA is resolved once, not once per touch;
+//   - runs of already-mapped pages are walked linearly through each
+//     resolved leaf table (TouchRangeQuiet) instead of one radix
+//     descent per page;
+//   - daemon polls over such a run collapse to one MaybeN(n) per run;
+//   - every page that needs the fault path still goes through the
+//     one-page step with a full per-daemon poll after it, because
+//     faults advance the logical clock and a fired daemon may mutate
+//     translations that later pages observe.
+//
+// Batching is gated on quiescence: a one-page step that neither faults
+// nor moves any kernel clock across its daemon polls proves that every
+// clock-gated daemon's gate is closed and, with the clock frozen
+// across non-faulting touches, stays closed for the whole quiet run —
+// so the collapsed polls are provably the no-ops the per-page loop
+// would have executed. (This relies on a simulator-wide invariant:
+// any daemon epoch that mutates simulator-visible state advances its
+// kernel's clock. Promotion, migration, and fault service all Tick.)
+func (e *Env) PopulateRange(v *vma.VMA, start addr.VirtAddr, bytes uint64) error {
+	pages := addr.BytesToPages(bytes)
+	if e.NoRangeFault {
+		for off := uint64(0); off < pages*addr.PageSize; off += addr.PageSize {
+			if err := e.Touch(start.Add(off), true); err != nil {
+				return fmt.Errorf("populate %v at +%d: %w", v, uint64(start.Add(off)-v.Start), err)
+			}
 		}
+		return nil
+	}
+	va := start
+	quiescent := false
+	for pages > 0 {
+		if quiescent {
+			n := e.touchRangeQuiet(v, va, pages)
+			if n > 0 {
+				for _, d := range e.Daemons {
+					maybeN(d, n)
+				}
+				va = va.Add(n * addr.PageSize)
+				pages -= n
+				if pages == 0 {
+					return nil
+				}
+			}
+		}
+		q, err := e.touchStep(v, va)
+		if err != nil {
+			return fmt.Errorf("populate %v at +%d: %w", v, uint64(va-v.Start), err)
+		}
+		quiescent = q
+		va = va.Add(addr.PageSize)
+		pages--
 	}
 	return nil
+}
+
+// touchStep performs one per-page touch with its full daemon poll round
+// and reports whether the round was quiescent: no fault taken and no
+// kernel clock moved across the polls.
+func (e *Env) touchStep(v *vma.VMA, va addr.VirtAddr) (bool, error) {
+	var faulted bool
+	var err error
+	if e.VM != nil {
+		faulted, err = e.VM.TouchAt(e.Proc, v, va, true)
+	} else {
+		faulted, err = e.Proc.TouchAt(v, va, true)
+	}
+	if err != nil {
+		return false, err
+	}
+	before := e.clockSum()
+	for _, d := range e.Daemons {
+		d.Maybe()
+	}
+	return !faulted && e.clockSum() == before, nil
+}
+
+// touchRangeQuiet advances over present (write-ready) pages in all
+// translation dimensions without polling daemons; see PopulateRange.
+func (e *Env) touchRangeQuiet(v *vma.VMA, va addr.VirtAddr, maxPages uint64) uint64 {
+	if e.VM != nil {
+		return e.VM.TouchRangeQuiet(e.Proc, v, va, maxPages, true)
+	}
+	return e.Proc.TouchRangeQuiet(v, va, maxPages, true)
+}
+
+// clockSum totals the logical clocks a daemon fire could advance.
+func (e *Env) clockSum() uint64 {
+	c := e.Kernel.Clock
+	if e.VM != nil {
+		c += e.VM.Host.Clock
+	}
+	return c
 }
 
 // ReadDataset reads a file of the given size through the page cache

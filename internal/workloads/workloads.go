@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/mem/addr"
+	"repro/internal/osim/vma"
 )
 
 // Scaled footprints: the paper's 29–167 GB workloads divided by ~512,
@@ -106,10 +107,8 @@ func (s *SVM) Setup(env *Env, rng *rand.Rand) error {
 		if end > svmFeatureBytes {
 			end = svmFeatureBytes
 		}
-		for o := off; o < end; o += addr.PageSize {
-			if err := env.Touch(feat.Start.Add(o), true); err != nil {
-				return err
-			}
+		if err := env.PopulateRange(feat, feat.Start.Add(off), end-off); err != nil {
+			return err
 		}
 	}
 	model, err := env.MMap(svmModelBytes)
@@ -210,10 +209,8 @@ func (p *PageRank) Setup(env *Env, rng *rand.Rand) error {
 		if end > prEdgeBytes {
 			end = prEdgeBytes
 		}
-		for o := off; o < end; o += addr.PageSize {
-			if err := env.Touch(edges.Start.Add(o), true); err != nil {
-				return err
-			}
+		if err := env.PopulateRange(edges, edges.Start.Add(off), end-off); err != nil {
+			return err
 		}
 	}
 	verts, err := env.MMap(prVertexBytes)
@@ -383,32 +380,24 @@ func (b *BT) FootprintBytes() uint64 { return btArrays * btArrayBytes }
 // (§VI-A).
 func (b *BT) Setup(env *Env, rng *rand.Rand) error {
 	b.arrays = nil
-	vmas := make([]*struct {
-		start addr.VirtAddr
-		size  uint64
-	}, 0, btArrays)
+	vmas := make([]*vma.VMA, 0, btArrays)
 	for i := 0; i < btArrays; i++ {
 		v, err := env.MMapSlack(btArrayBytes, btSlack)
 		if err != nil {
 			return err
 		}
 		b.arrays = append(b.arrays, usedRegion(v.Start, btArrayBytes))
-		vmas = append(vmas, &struct {
-			start addr.VirtAddr
-			size  uint64
-		}{v.Start, v.Size()})
+		vmas = append(vmas, v)
 	}
 	const chunk = 16 * MiB
 	for off := uint64(0); off < btArrayBytes; off += chunk {
 		for _, v := range vmas {
 			end := off + chunk
-			if end > v.size {
-				end = v.size
+			if end > v.Size() {
+				end = v.Size()
 			}
-			for o := off; o < end; o += addr.PageSize {
-				if err := env.Touch(v.start.Add(o), true); err != nil {
-					return err
-				}
+			if err := env.PopulateRange(v, v.Start.Add(off), end-off); err != nil {
+				return err
 			}
 		}
 	}
