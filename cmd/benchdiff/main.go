@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -52,38 +53,45 @@ func load(path string) (report, error) {
 	return r, nil
 }
 
-func main() {
+// run is the whole tool behind an exit code, so tests can drive it with
+// crafted reports and assert on output and gating. Exit codes: 0 clean,
+// 1 regression beyond -threshold, 2 usage or unreadable input.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		basePath  = flag.String("base", "", "baseline timing JSON (required)")
-		newPath   = flag.String("new", "", "candidate timing JSON (required)")
-		threshold = flag.Float64("threshold", 0, "fail (exit 1) when any ratio new/base exceeds this factor; 0 = report only")
+		basePath  = fs.String("base", "", "baseline timing JSON (required)")
+		newPath   = fs.String("new", "", "candidate timing JSON (required)")
+		threshold = fs.Float64("threshold", 0, "fail (exit 1) when any ratio new/base exceeds this factor; 0 = report only")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *basePath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchdiff: -base and -new are both required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff: -base and -new are both required")
+		fs.Usage()
+		return 2
 	}
 	base, err := load(*basePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 	cand, err := load(*newPath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
 	}
 
-	fmt.Printf("base: %s  (%s, jobs=%d, stream=%d, settle=%d, seed=%d)\n",
+	fmt.Fprintf(stdout, "base: %s  (%s, jobs=%d, stream=%d, settle=%d, seed=%d)\n",
 		*basePath, base.Date, base.Jobs, base.StreamLen, base.Settle, base.Seed)
-	fmt.Printf("new:  %s  (%s, jobs=%d, stream=%d, settle=%d, seed=%d)\n",
+	fmt.Fprintf(stdout, "new:  %s  (%s, jobs=%d, stream=%d, settle=%d, seed=%d)\n",
 		*newPath, cand.Date, cand.Jobs, cand.StreamLen, cand.Settle, cand.Seed)
 	if base.StreamLen != cand.StreamLen || base.Settle != cand.Settle ||
 		base.Seed != cand.Seed || base.Jobs != cand.Jobs {
-		fmt.Println("WARNING: parameters differ between reports; deltas measure the parameter change, not the code")
+		fmt.Fprintln(stdout, "WARNING: parameters differ between reports; deltas measure the parameter change, not the code")
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 
 	baseMS := map[string]float64{}
 	for _, e := range base.PerExp {
@@ -137,7 +145,7 @@ func main() {
 		}
 	}
 	printRow := func(cells [4]string) {
-		fmt.Printf("%-*s  %*s  %*s  %*s\n",
+		fmt.Fprintf(stdout, "%-*s  %*s  %*s  %*s\n",
 			widths[0], cells[0], widths[1], cells[1], widths[2], cells[2], widths[3], cells[3])
 	}
 	printRow([4]string{"experiment", "base ms", "new ms", "ratio"})
@@ -146,7 +154,12 @@ func main() {
 	}
 
 	if len(regressed) > 0 {
-		fmt.Printf("\nbenchdiff: %d regression(s) beyond %.2fx: %v\n", len(regressed), *threshold, regressed)
-		os.Exit(1)
+		fmt.Fprintf(stdout, "\nbenchdiff: %d regression(s) beyond %.2fx: %v\n", len(regressed), *threshold, regressed)
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

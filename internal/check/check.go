@@ -1,0 +1,122 @@
+// Package check is the differential-oracle correctness subsystem: it
+// drives the real simulator and deliberately naive reference models
+// through identical operation sequences and cross-checks them after
+// every step. Three oracles cover the layers the perf PRs keep
+// rewriting:
+//
+//   - a flat va→(pa, flags) map checked against the 4-level page-table
+//     lookup paths (Lookup, Walk, Translate, and the nested 2D
+//     composition in internal/virt);
+//   - a bitmap reference allocator checked against internal/mem/buddy
+//     (free-set equality, alignment, canonical coalescing);
+//   - a fully-associative reference TLB checked against the
+//     set-associative internal/hw/tlb (hit/miss agreement under
+//     LRU-compatible streams).
+//
+// Machine is the random-op state-machine driver tying them together;
+// Audit is the deep cross-layer pass (frame ownership ↔ PTE mappings ↔
+// buddy free lists ↔ contigmap extents ↔ VMA accounting) callable from
+// any test. The Fuzz* targets in this package decode fuzzer bytes into
+// the same op vocabulary, so every crasher replays through Machine.
+package check
+
+import "fmt"
+
+// OpKind enumerates the state-machine operations. The set mirrors the
+// kernel surface the experiments exercise; extend it whenever a PR adds
+// a new state-mutating kernel entry point (see DESIGN.md §8).
+type OpKind uint8
+
+const (
+	// OpMMap creates an anonymous VMA on a random process.
+	OpMMap OpKind = iota
+	// OpTouch faults or re-touches one page (read or write).
+	OpTouch
+	// OpTouchRange populates a page range through the batched
+	// range-fault path (workloads.Env.PopulateRange), daemons polled.
+	OpTouchRange
+	// OpUnmap tears down a random VMA.
+	OpUnmap
+	// OpFork forks a process copy-on-write; at the process cap it exits
+	// the oldest forked child instead, exercising teardown.
+	OpFork
+	// OpHog pins a fraction of physical memory (fragmentation), and
+	// OpUnhog releases a pinned set.
+	OpHog
+	OpUnhog
+	// OpDaemonTick advances the logical clock past the daemon period
+	// and polls every attached daemon.
+	OpDaemonTick
+	// OpPromote runs an immediate Ingens promotion scan.
+	OpPromote
+	// OpTLB streams accesses through the real and reference TLBs.
+	OpTLB
+	numOpKinds
+)
+
+func (k OpKind) String() string {
+	names := [...]string{"mmap", "touch", "touch-range", "unmap", "fork",
+		"hog", "unhog", "daemon-tick", "promote", "tlb"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one state-machine operation. A, B, C parameterize it; every
+// kind hashes them through a local PRNG and clamps the results, so any
+// values — fuzzer bytes included — decode to a legal operation.
+type Op struct {
+	Kind    OpKind
+	A, B, C uint64
+}
+
+// DecodeOps turns raw fuzzer bytes into an op sequence: 4 bytes per op
+// (kind, A, B, C), trailing remainder ignored. The mapping is total —
+// every byte string is a valid sequence — so fuzzing explores op-order
+// space instead of fighting a parser.
+func DecodeOps(data []byte) []Op {
+	out := make([]Op, 0, len(data)/4)
+	for i := 0; i+4 <= len(data); i += 4 {
+		out = append(out, Op{
+			Kind: OpKind(data[i] % uint8(numOpKinds)),
+			A:    uint64(data[i+1]),
+			B:    uint64(data[i+2]),
+			C:    uint64(data[i+3]),
+		})
+	}
+	return out
+}
+
+// Extent is a pinned physical range (boot reservations, hog chunks)
+// that Audit must account for as intentionally allocated-but-unmapped.
+type Extent struct {
+	PFN   uint64
+	Pages uint64
+}
+
+// prng is a splitmix64 stream used to expand an op's (A, B, C) into as
+// many bounded parameters as the op needs. Deterministic per op, so a
+// sequence replays identically whether it came from a seeded driver or
+// from fuzzer bytes.
+type prng struct{ s uint64 }
+
+func newPRNG(op Op, salt uint64) *prng {
+	return &prng{s: op.A<<40 ^ op.B<<20 ^ op.C ^ salt ^ 0x9e3779b97f4a7c15}
+}
+
+func (p *prng) next() uint64 {
+	p.s += 0x9e3779b97f4a7c15
+	z := p.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n); 0 when n == 0.
+func (p *prng) intn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return p.next() % n
+}

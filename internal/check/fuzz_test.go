@@ -1,0 +1,94 @@
+package check
+
+import "testing"
+
+// Fuzz targets decode arbitrary bytes into the shared op vocabulary
+// (DecodeOps: 4 bytes per op, total mapping) and replay them through
+// the differential drivers, so every crasher the fuzzer finds is a
+// deterministic Machine sequence reproducible with:
+//
+//	go test ./internal/check -run 'TestFuzzCorpus|FuzzKernelOps' \
+//	    -fuzz='' # or just re-run the failing seed from testdata/fuzz
+//
+// Op counts are capped so a single fuzz execution stays in the low
+// milliseconds; CheckEvery is tightened to catch divergence close to
+// the op that caused it.
+
+const (
+	fuzzMaxKernelOps = 192 // ops per native fuzz execution
+	fuzzMaxNestedOps = 96  // nested is ~3x the per-op cost
+	fuzzMaxBuddyOps  = 512
+)
+
+func fuzzConfig(data []byte) Config {
+	cfg := Config{CheckEvery: 32}
+	if len(data) == 0 {
+		return cfg
+	}
+	// The first byte double-duties as the first op's kind and the
+	// config selector, so the fuzzer explores policy × sequence space.
+	switch data[0] % 3 {
+	case 0:
+		cfg.Daemons = true
+	case 1:
+		cfg.Policy = PolicyCA
+	case 2:
+		cfg.Policy = PolicyEager
+	}
+	cfg.Seed = uint64(data[0])
+	return cfg
+}
+
+func FuzzKernelOps(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4*fuzzMaxKernelOps {
+			data = data[:4*fuzzMaxKernelOps]
+		}
+		m, err := NewMachine(fuzzConfig(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ApplyOps(DecodeOps(data)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzNestedTranslate(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4*fuzzMaxNestedOps {
+			data = data[:4*fuzzMaxNestedOps]
+		}
+		cfg := Config{Nested: true, CheckEvery: 32}
+		if len(data) > 0 {
+			if data[0]%2 == 1 {
+				cfg.Policy = PolicyCA
+			}
+			cfg.Seed = uint64(data[0])
+		}
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.ApplyOps(DecodeOps(data)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzBuddy(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4*fuzzMaxBuddyOps {
+			data = data[:4*fuzzMaxBuddyOps]
+		}
+		d := NewBuddyDiffer(4 * 1024)
+		for _, op := range DecodeOps(data) {
+			if err := d.Step(op); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.Check(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

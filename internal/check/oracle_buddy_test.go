@@ -1,0 +1,92 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+func TestRefAllocCanonicalCounts(t *testing.T) {
+	r := NewRefAlloc(0, 2*addr.MaxOrderPages)
+	counts := r.CanonicalCounts()
+	if counts[addr.MaxOrder] != 2 {
+		t.Fatalf("fresh range: %d MAX_ORDER blocks, want 2", counts[addr.MaxOrder])
+	}
+	// Allocating a single page splits one MAX_ORDER block into one free
+	// buddy at every order below MAX_ORDER.
+	if err := r.MarkAllocated(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	counts = r.CanonicalCounts()
+	if counts[addr.MaxOrder] != 1 {
+		t.Fatalf("after 1-page alloc: %d MAX_ORDER blocks, want 1", counts[addr.MaxOrder])
+	}
+	for o := 0; o < addr.MaxOrder; o++ {
+		if counts[o] != 1 {
+			t.Fatalf("after 1-page alloc: order %d has %d blocks, want 1", o, counts[o])
+		}
+	}
+	// Freeing it coalesces everything back.
+	if err := r.MarkFree(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	counts = r.CanonicalCounts()
+	if counts[addr.MaxOrder] != 2 {
+		t.Fatalf("after free: %d MAX_ORDER blocks, want 2", counts[addr.MaxOrder])
+	}
+	if err := r.MarkFree(0, 1); err == nil {
+		t.Fatal("double free not detected")
+	}
+}
+
+// TestBuddyDifferRandomOps drives the real buddy allocator and the
+// bitmap reference through random op streams across several seeds; any
+// divergence in success/failure, free sets, alignment, or coalescing
+// fails the run.
+func TestBuddyDifferRandomOps(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		d := NewBuddyDiffer(8 * addr.MaxOrderPages)
+		rr := rand.New(rand.NewSource(seed))
+		for i := 0; i < 5000; i++ {
+			op := Op{
+				Kind: OpKind(rr.Intn(int(numOpKinds))),
+				A:    uint64(rr.Intn(1 << 20)),
+				B:    uint64(rr.Intn(1 << 20)),
+				C:    uint64(rr.Intn(1 << 20)),
+			}
+			if err := d.Step(op); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		if err := d.Check(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(d.allocs) == 0 && len(d.pins) == 0 {
+			t.Fatalf("seed %d: run ended with nothing outstanding — stream too tame", seed)
+		}
+	}
+}
+
+// TestBuddyDifferDetectsDivergence mutates the real allocator behind
+// the reference's back and requires the differ to notice.
+func TestBuddyDifferDetectsDivergence(t *testing.T) {
+	d := NewBuddyDiffer(2 * addr.MaxOrderPages)
+	rr := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		op := Op{Kind: OpKind(rr.Intn(int(numOpKinds))), A: uint64(rr.Intn(1 << 16))}
+		if err := d.Step(op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(d.allocs) == 0 {
+		t.Fatal("no outstanding allocation to corrupt")
+	}
+	// Free an outstanding block directly in the buddy without telling
+	// the reference: free sets now disagree.
+	a := d.allocs[0]
+	d.B.FreeBlock(a.pfn, a.order)
+	if err := d.Check(); err == nil {
+		t.Fatal("differ missed a behind-the-back free")
+	}
+}

@@ -1,0 +1,260 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mem/addr"
+	"repro/internal/osim"
+	"repro/internal/osim/pagetable"
+	"repro/internal/virt"
+)
+
+// flagMask selects the flags the oracle pins down exactly. Accessed and
+// Dirty mutate in place on every touch, and Contig is set retroactively
+// by the contiguity-marking walk (which tags leaves *behind* the
+// faulting range), so those three are checked by other means: Contig via
+// the global ContigBits count in checkAll, Accessed/Dirty not at all
+// (they carry no correctness obligation the paper's experiments rely
+// on).
+const flagMask = pagetable.Present | pagetable.Writable | pagetable.CoW
+
+// ptEntry is the oracle's view of one 4 KiB virtual page.
+type ptEntry struct {
+	pa    addr.PhysAddr
+	flags pagetable.Flags // masked by flagMask
+	huge  bool            // page lives under a 2 MiB leaf
+
+	// hpa is the composed host physical address in nested mode. hpaOK
+	// is false until the host has backed the guest frame — guest CoW
+	// can share a guest frame whose host backing appears later via a
+	// sibling's write — after which the composition must never change
+	// (Machine runs no host daemons, so host mappings are only added).
+	hpa   addr.PhysAddr
+	hpaOK bool
+}
+
+// ptOracle is the flat va→(pa, flags) reference for one process. It is a
+// *trailing* oracle: placement policies make physical addresses
+// unpredictable, so after each op the oracle re-reads the op's range
+// from the SUT (refreshRange) and then asserts that every *other* view
+// of the translation state — Walk vs Lookup vs Translate, the nested 2D
+// composition, global counters — agrees with the recorded flat map, and
+// that entries outside the perturbed range kept their physical
+// addresses.
+type ptOracle struct {
+	entries map[addr.VPN]ptEntry
+}
+
+func newPTOracle() *ptOracle {
+	return &ptOracle{entries: make(map[addr.VPN]ptEntry)}
+}
+
+// lookupPage reads one page's translation out of the SUT.
+func lookupPage(p *osim.Process, va addr.VirtAddr) (ptEntry, bool) {
+	va = va.PageDown()
+	pte, pages, ok := p.PT.Lookup(va)
+	if !ok {
+		return ptEntry{}, false
+	}
+	e := ptEntry{flags: pte.Flags & flagMask, huge: pages == 512}
+	if e.huge {
+		e.pa = pte.PFN.Addr() + addr.PhysAddr(va-va.HugeDown())
+	} else {
+		e.pa = pte.PFN.Addr()
+	}
+	return e, true
+}
+
+// refreshRange re-reads [va, va+pages*4K) from the SUT into the oracle,
+// cross-checking Lookup against Translate on every present page. In
+// nested mode the composed host PA is (re)recorded too.
+func (o *ptOracle) refreshRange(p *osim.Process, vm *virt.VM, va addr.VirtAddr, pages uint64) error {
+	va = va.PageDown()
+	for i := uint64(0); i < pages; i++ {
+		cur := va.Add(i * addr.PageSize)
+		e, ok := lookupPage(p, cur)
+		pa, tok := p.PT.Translate(cur)
+		if tok != ok {
+			return fmt.Errorf("%s: Lookup ok=%v but Translate ok=%v", cur, ok, tok)
+		}
+		if !ok {
+			delete(o.entries, cur.PageNumber())
+			continue
+		}
+		if pa != e.pa {
+			return fmt.Errorf("%s: Lookup says %s, Translate says %s", cur, e.pa, pa)
+		}
+		if vm != nil {
+			if hpa, hok := vm.TranslateFull(p, cur); hok {
+				e.hpa, e.hpaOK = hpa, true
+			}
+		}
+		o.entries[cur.PageNumber()] = e
+	}
+	return nil
+}
+
+// refreshAll rebuilds the oracle from a full page-table sweep. Used
+// after ops that legitimately move pages the oracle cannot track
+// incrementally (daemon promotion/migration, fork CoW downgrades).
+func (o *ptOracle) refreshAll(p *osim.Process, vm *virt.VM) error {
+	o.entries = make(map[addr.VPN]ptEntry, len(o.entries))
+	var err error
+	p.PT.Visit(func(l pagetable.Leaf) {
+		if err != nil {
+			return
+		}
+		err = o.refreshRange(p, vm, l.VA, l.Pages)
+	})
+	return err
+}
+
+// checkStable asserts that the pages containing the given VAs — chosen
+// by the caller *outside* the op's perturbed range — still translate to
+// the physical addresses the oracle recorded, with the same masked
+// flags. This is the per-step PA-stability check: cheap, and exactly
+// the property a buggy free/remap path violates first.
+func (o *ptOracle) checkStable(p *osim.Process, vas []addr.VirtAddr) error {
+	for _, va := range vas {
+		want, tracked := o.entries[va.PageNumber()]
+		got, ok := lookupPage(p, va)
+		if !tracked {
+			if ok {
+				return fmt.Errorf("%s: mapped (pa %s) but oracle has no entry", va, got.pa)
+			}
+			continue
+		}
+		if !ok {
+			return fmt.Errorf("%s: oracle has pa %s but page is unmapped", va, want.pa)
+		}
+		if got.pa != want.pa {
+			return fmt.Errorf("%s: pa moved %s -> %s without an op touching it", va, want.pa, got.pa)
+		}
+		if got.flags != want.flags {
+			return fmt.Errorf("%s: flags changed %v -> %v without an op touching it", va, want.flags, got.flags)
+		}
+	}
+	return nil
+}
+
+// checkAll is the full oracle-vs-SUT diff for one process:
+//
+//   - entry count == PT.MappedPages() (with per-entry Lookup success
+//     this makes the mapped sets equal, both directions);
+//   - Lookup, Walk, and Translate agree with each other and with the
+//     oracle on every tracked page (sorted order, deterministic);
+//   - no leaf is simultaneously Writable and CoW;
+//   - leaves carrying Contig == PT.ContigBits;
+//   - nested: TranslateFull composes to the recorded host PA (with the
+//     lazy first-backing upgrade), Walk agrees with TranslateFull, and
+//     its page-walk reference count matches the 2D cost formula.
+func (o *ptOracle) checkAll(p *osim.Process, vm *virt.VM) error {
+	if got, want := uint64(len(o.entries)), p.PT.MappedPages(); got != want {
+		return fmt.Errorf("oracle tracks %d pages, page table maps %d", got, want)
+	}
+	keys := make([]addr.VPN, 0, len(o.entries))
+	for k := range o.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	var guestLv, hostLv int
+	if vm != nil {
+		g, h := vm.NestedTables(p)
+		guestLv, hostLv = g.Levels(), h.Levels()
+	}
+	for _, vpn := range keys {
+		va := vpn.Addr()
+		want := o.entries[vpn]
+		got, ok := lookupPage(p, va)
+		if !ok {
+			return fmt.Errorf("%s: tracked but Lookup fails", va)
+		}
+		if got.pa != want.pa || got.flags != want.flags || got.huge != want.huge {
+			return fmt.Errorf("%s: oracle (pa %s flags %v huge %v) != SUT (pa %s flags %v huge %v)",
+				va, want.pa, want.flags, want.huge, got.pa, got.flags, got.huge)
+		}
+		pte, level, _, wok := p.PT.Walk(va)
+		if !wok || !pte.Present() {
+			return fmt.Errorf("%s: Lookup succeeds but Walk fails (ok=%v)", va, wok)
+		}
+		if (level == 1) != want.huge || (level != 0 && level != 1) {
+			return fmt.Errorf("%s: Walk leaf level %d inconsistent with huge=%v", va, level, want.huge)
+		}
+		if pte.Flags.Has(pagetable.Writable) && pte.Flags.Has(pagetable.CoW) {
+			return fmt.Errorf("%s: leaf is both Writable and CoW", va)
+		}
+		if pa, tok := p.PT.Translate(va); !tok || pa != want.pa {
+			return fmt.Errorf("%s: Translate (pa %s ok %v) disagrees with oracle pa %s", va, pa, tok, want.pa)
+		}
+		if vm != nil {
+			hpa, hok := vm.TranslateFull(p, va)
+			if want.hpaOK {
+				if !hok {
+					return fmt.Errorf("%s: composed host PA %s lost (host never unmaps)", va, want.hpa)
+				}
+				if hpa != want.hpa {
+					return fmt.Errorf("%s: composed host PA moved %s -> %s", va, want.hpa, hpa)
+				}
+			} else if hok {
+				// First host backing observed (guest CoW sharing can
+				// back a guest frame via a sibling): record it.
+				want.hpa, want.hpaOK = hpa, true
+				o.entries[vpn] = want
+			}
+			w := vm.Walk(p, va)
+			if w.OK != hok {
+				return fmt.Errorf("%s: nested Walk ok=%v but TranslateFull ok=%v", va, w.OK, hok)
+			}
+			if hok {
+				if w.HPA != hpa {
+					return fmt.Errorf("%s: nested Walk HPA %s != TranslateFull %s", va, w.HPA, hpa)
+				}
+				gsteps := guestLv - w.GuestLevel
+				hsteps := hostLv - w.HostLevel
+				if wantRefs := (gsteps+1)*(hsteps+1) - 1; w.Refs != wantRefs {
+					return fmt.Errorf("%s: nested Walk refs %d, 2D formula gives %d (guest leaf L%d, host leaf L%d)",
+						va, w.Refs, wantRefs, w.GuestLevel, w.HostLevel)
+				}
+			}
+		}
+	}
+	var contig uint64
+	var bad error
+	p.PT.Visit(func(l pagetable.Leaf) {
+		if l.PTE.Flags.Has(pagetable.Contig) {
+			contig++
+		}
+		if bad == nil && l.PTE.Flags.Has(pagetable.Writable) && l.PTE.Flags.Has(pagetable.CoW) {
+			bad = fmt.Errorf("%s: leaf is both Writable and CoW", l.VA)
+		}
+	})
+	if bad != nil {
+		return bad
+	}
+	if contig != p.PT.ContigBits {
+		return fmt.Errorf("%d leaves carry Contig but ContigBits counter says %d", contig, p.PT.ContigBits)
+	}
+	return nil
+}
+
+// diffShared asserts the fork relationship between a parent and child
+// oracle immediately after the fork refresh: identical key sets, every
+// shared page at the same physical address (CoW shares frames; copies
+// only appear on later writes).
+func (o *ptOracle) diffShared(child *ptOracle) error {
+	if len(o.entries) != len(child.entries) {
+		return fmt.Errorf("fork: parent tracks %d pages, child %d", len(o.entries), len(child.entries))
+	}
+	for vpn, pe := range o.entries {
+		ce, ok := child.entries[vpn]
+		if !ok {
+			return fmt.Errorf("fork: %s mapped in parent, missing in child", vpn.Addr())
+		}
+		if ce.pa != pe.pa {
+			return fmt.Errorf("fork: %s parent pa %s != child pa %s", vpn.Addr(), pe.pa, ce.pa)
+		}
+	}
+	return nil
+}

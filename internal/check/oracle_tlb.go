@@ -1,0 +1,91 @@
+package check
+
+import "repro/internal/mem/addr"
+
+// RefTLB is the fully-associative LRU reference TLB. It mirrors the
+// real TLB's observable contract — unified 4K/2M tags, 4K probed before
+// 2M, insert-on-miss — with the simplest possible structure: one flat
+// list, global LRU eviction, linear search.
+//
+// A set-associative LRU and a fully-associative LRU of the same
+// capacity are NOT equivalent in general: the set-associative structure
+// can evict a tag the fully-associative one still holds once some set
+// overflows its ways. They agree exactly on LRU-compatible streams —
+// streams whose distinct (tag, size) working set never exceeds the real
+// TLB's associativity, so no set ever evicts a valid entry. Machine
+// bounds its TLB op streams accordingly; the property test in
+// oracle_tlb_test.go checks the agreement across random geometries.
+type RefTLB struct {
+	cap     int
+	tick    uint64
+	entries []refTLBEntry
+}
+
+type refTLBEntry struct {
+	huge bool
+	tag  uint64
+	lru  uint64
+}
+
+// NewRefTLB creates a reference TLB holding capacity entries.
+func NewRefTLB(capacity int) *RefTLB {
+	if capacity <= 0 {
+		panic("check: RefTLB capacity must be positive")
+	}
+	return &RefTLB{cap: capacity}
+}
+
+// Lookup probes for va, 4K tag first then 2M, refreshing LRU on hit —
+// the same probe order as the real TLB.
+func (t *RefTLB) Lookup(va addr.VirtAddr) bool {
+	t.tick++
+	if t.probe(uint64(va)>>addr.PageShift, false) {
+		return true
+	}
+	return t.probe(uint64(va)>>addr.HugeShift, true)
+}
+
+func (t *RefTLB) probe(tag uint64, huge bool) bool {
+	for i := range t.entries {
+		if t.entries[i].huge == huge && t.entries[i].tag == tag {
+			t.entries[i].lru = t.tick
+			return true
+		}
+	}
+	return false
+}
+
+// Insert caches the translation covering va, evicting the globally
+// least-recently-used entry at capacity. Inserting a (tag, size) that
+// is already present refreshes it in place, so duplicate entries never
+// arise.
+func (t *RefTLB) Insert(va addr.VirtAddr, huge bool) {
+	t.tick++
+	tag := uint64(va) >> addr.PageShift
+	if huge {
+		tag = uint64(va) >> addr.HugeShift
+	}
+	for i := range t.entries {
+		if t.entries[i].huge == huge && t.entries[i].tag == tag {
+			t.entries[i].lru = t.tick
+			return
+		}
+	}
+	if len(t.entries) < t.cap {
+		t.entries = append(t.entries, refTLBEntry{huge: huge, tag: tag, lru: t.tick})
+		return
+	}
+	victim := 0
+	for i := range t.entries {
+		if t.entries[i].lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.entries[victim] = refTLBEntry{huge: huge, tag: tag, lru: t.tick}
+}
+
+// Flush invalidates everything.
+func (t *RefTLB) Flush() { t.entries = t.entries[:0] }
+
+// Len returns the number of valid entries.
+func (t *RefTLB) Len() int { return len(t.entries) }

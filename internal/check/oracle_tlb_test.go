@@ -1,0 +1,134 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/hw/tlb"
+	"repro/internal/mem/addr"
+)
+
+// hotSet builds exactly n distinct (tag, size) pairs as concrete VAs.
+func hotSet(rr *rand.Rand, n int) (vas []addr.VirtAddr, huge []bool) {
+	seen := make(map[uint64]bool)
+	for len(vas) < n {
+		tag := uint64(rr.Intn(1 << 22))
+		h := rr.Intn(3) == 0
+		key := tag << 1
+		if h {
+			key |= 1
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if h {
+			vas = append(vas, addr.VirtAddr(tag<<addr.HugeShift))
+		} else {
+			vas = append(vas, addr.VirtAddr(tag<<addr.PageShift))
+		}
+		huge = append(huge, h)
+	}
+	return vas, huge
+}
+
+// TestTLBAgreementCompatibleStreams is the property test behind the
+// Machine's TLB oracle: for any geometry, a set-associative LRU and the
+// fully-associative reference of the same capacity agree hit-for-hit on
+// streams whose distinct (tag, size) working set stays within the
+// associativity — because then no set ever evicts a valid entry, and
+// neither does the reference. Flushes are thrown in to restart the
+// working set mid-stream.
+func TestTLBAgreementCompatibleStreams(t *testing.T) {
+	geoms := []struct{ entries, ways int }{
+		{64, 8}, {32, 4}, {16, 16}, {8, 2}, {128, 8},
+	}
+	for gi, g := range geoms {
+		real := tlb.New(g.entries, g.ways)
+		ref := NewRefTLB(real.Entries())
+		rr := rand.New(rand.NewSource(int64(gi + 1)))
+		vas, huge := hotSet(rr, real.Ways())
+		for i := 0; i < 20000; i++ {
+			if rr.Intn(512) == 0 {
+				real.Flush()
+				ref.Flush()
+			}
+			j := rr.Intn(len(vas))
+			va := vas[j].Add(uint64(rr.Intn(addr.PageSize)))
+			hit, refHit := real.Lookup(va), ref.Lookup(va)
+			if hit != refHit {
+				t.Fatalf("geom %d+%dw access %d: %s real hit=%v ref hit=%v",
+					g.entries, g.ways, i, va, hit, refHit)
+			}
+			if !hit {
+				real.Insert(va, huge[j])
+				ref.Insert(va, huge[j])
+			}
+		}
+		if real.Misses() == 0 || real.Misses() == real.Lookups() {
+			t.Fatalf("geom %d+%dw: degenerate stream (%d/%d misses)",
+				g.entries, g.ways, real.Misses(), real.Lookups())
+		}
+	}
+}
+
+// TestTLBNeverRepeatAlwaysMisses: a stream that never revisits a tag
+// must miss every time in both models, across capacity-overflowing
+// lengths (this exercises reference eviction).
+func TestTLBNeverRepeatAlwaysMisses(t *testing.T) {
+	real := tlb.New(32, 4)
+	ref := NewRefTLB(real.Entries())
+	for i := 0; i < 4*32; i++ {
+		va := addr.VirtAddr(uint64(i) << addr.PageShift)
+		hit, refHit := real.Lookup(va), ref.Lookup(va)
+		if hit || refHit {
+			t.Fatalf("access %d: unique tag hit (real=%v ref=%v)", i, hit, refHit)
+		}
+		real.Insert(va, false)
+		ref.Insert(va, false)
+	}
+	if real.Misses() != real.Lookups() {
+		t.Fatalf("real TLB: %d misses on %d never-repeating lookups", real.Misses(), real.Lookups())
+	}
+	if ref.Len() > real.Entries() {
+		t.Fatalf("reference exceeded capacity: %d > %d", ref.Len(), real.Entries())
+	}
+}
+
+// TestRefTLBBasics pins the reference model's own contract: duplicate
+// inserts refresh in place, eviction removes the global LRU entry, and
+// huge entries answer 4K probes of covered addresses.
+func TestRefTLBBasics(t *testing.T) {
+	ref := NewRefTLB(2)
+	a := addr.VirtAddr(1 << addr.PageShift)
+	b := addr.VirtAddr(2 << addr.PageShift)
+	c := addr.VirtAddr(3 << addr.PageShift)
+	ref.Insert(a, false)
+	ref.Insert(a, false)
+	if ref.Len() != 1 {
+		t.Fatalf("duplicate insert created a second entry: len=%d", ref.Len())
+	}
+	ref.Insert(b, false)
+	if !ref.Lookup(a) {
+		t.Fatal("a missing before capacity reached")
+	}
+	// a was just refreshed, so inserting c at capacity must evict b.
+	ref.Insert(c, false)
+	if ref.Lookup(b) {
+		t.Fatal("b survived eviction despite being LRU")
+	}
+	if !ref.Lookup(a) || !ref.Lookup(c) {
+		t.Fatal("MRU entries evicted")
+	}
+
+	huge := NewRefTLB(4)
+	base := addr.VirtAddr(5 << addr.HugeShift)
+	huge.Insert(base, true)
+	if !huge.Lookup(base.Add(123 * addr.PageSize)) {
+		t.Fatal("huge entry did not answer a 4K probe inside its range")
+	}
+	huge.Flush()
+	if huge.Len() != 0 || huge.Lookup(base) {
+		t.Fatal("flush left entries behind")
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// update regenerates testdata/golden.json instead of comparing:
+//
+//	go test ./internal/experiments -run TestGoldenTables -update
+var update = flag.Bool("update", false, "rewrite golden table hashes")
+
+const goldenPath = "testdata/golden.json"
+
+// goldenParams is deliberately small: the point is a cheap, exact
+// end-to-end fingerprint of every driver's output, not a meaningful
+// measurement. Any behavioural change anywhere under a driver — placement
+// policy, TLB geometry, walk order, even a formatting tweak — moves the
+// hash and forces the author to acknowledge it with -update.
+func goldenParams() Params {
+	return Params{StreamLen: 20_000, SettleEpochs: 30, Seed: 1, Jobs: 1}
+}
+
+// renderHash runs one driver and hashes its rendered table.
+func renderHash(id string, p Params) (string, error) {
+	d, err := Lookup(id)
+	if err != nil {
+		return "", err
+	}
+	tab, err := d(p)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", id, err)
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// TestGoldenTables renders all registered experiments at fixed small
+// Params and compares each table's hash against the committed snapshot.
+// Drivers are pure in their Params, so a hash mismatch means behaviour
+// changed — intentionally (regenerate with -update and review the diff
+// in the PR) or not (a real regression the shape tests were too coarse
+// to catch).
+func TestGoldenTables(t *testing.T) {
+	ids := IDs()
+	p := goldenParams()
+
+	got := make(map[string]string, len(ids))
+	errs := make(map[string]error, len(ids))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			h, err := renderHash(id, p)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[id] = err
+			} else {
+				got[id] = h
+			}
+		}(id)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if err := errs[id]; err != nil {
+			t.Errorf("driver failed: %v", err)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if *update {
+		buf, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d hashes to %s", len(got), goldenPath)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("no golden snapshot (run with -update to create it): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("%s: %v", goldenPath, err)
+	}
+
+	for _, id := range ids {
+		if _, ok := want[id]; !ok {
+			t.Errorf("%s: no golden hash — new experiment? run with -update", id)
+		} else if got[id] != want[id] {
+			t.Errorf("%s: table changed (got %s, want %s) — if intentional, regenerate with -update",
+				id, got[id][:12], want[id][:12])
+		}
+	}
+	var stale []string
+	for id := range want {
+		if _, ok := got[id]; !ok {
+			stale = append(stale, id)
+		}
+	}
+	sort.Strings(stale)
+	for _, id := range stale {
+		t.Errorf("%s: golden hash for unregistered experiment — run with -update", id)
+	}
+}
+
+// TestGoldenReproducible guards the premise the snapshot rests on: the
+// same driver at the same Params renders byte-identical output twice in
+// one process. Without this, a golden mismatch could be dismissed as
+// "flaky".
+func TestGoldenReproducible(t *testing.T) {
+	t.Parallel()
+	for _, id := range []string{"fig7", "table5", "ablation-placement"} {
+		h1, err := renderHash(id, goldenParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := renderHash(id, goldenParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("%s: driver not reproducible at fixed Params", id)
+		}
+	}
+}

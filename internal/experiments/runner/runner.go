@@ -43,12 +43,6 @@ type Result struct {
 // one entry per requested ID, in the requested order; the error is the
 // first failure in ID order, or ctx's error, or nil.
 func Run(ctx context.Context, ids []string, p experiments.Params, jobs int) ([]Result, error) {
-	if jobs <= 0 {
-		jobs = runtime.GOMAXPROCS(0)
-	}
-	if jobs > len(ids) {
-		jobs = len(ids)
-	}
 	drivers := make([]experiments.Driver, len(ids))
 	for i, id := range ids {
 		d, err := experiments.Lookup(id)
@@ -56,6 +50,23 @@ func Run(ctx context.Context, ids []string, p experiments.Params, jobs int) ([]R
 			return nil, err
 		}
 		drivers[i] = d
+	}
+	return RunDrivers(ctx, ids, drivers, p, jobs)
+}
+
+// RunDrivers is Run for callers that already hold the drivers (or
+// substitute ones — tests inject failing and blocking drivers here):
+// drivers[i] runs under the label ids[i], with the same pool, ordering,
+// cancellation, and error-reporting contract as Run.
+func RunDrivers(ctx context.Context, ids []string, drivers []experiments.Driver, p experiments.Params, jobs int) ([]Result, error) {
+	if len(ids) != len(drivers) {
+		return nil, fmt.Errorf("runner: %d ids but %d drivers", len(ids), len(drivers))
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(ids) {
+		jobs = len(ids)
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()

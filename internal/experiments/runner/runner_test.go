@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -190,5 +194,81 @@ func TestWalkCacheToggleMatches(t *testing.T) {
 	}
 	if a, b := render(t, cached), render(t, uncached); !bytes.Equal(a, b) {
 		t.Fatalf("walk-cache toggle changed output:\n--- cached ---\n%s\n--- uncached ---\n%s", a, b)
+	}
+}
+
+// TestFirstErrorCancelsPool is the error-path counterpart of the
+// determinism tests: one driver fails, and the pool must (a) report
+// that real error rather than the cancellation noise behind it, (b)
+// abandon every queued driver without starting it, and (c) leak no
+// goroutines. A second in-flight driver is gated so it provably
+// overlaps the failure.
+func TestFirstErrorCancelsPool(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	errBoom := errors.New("boom")
+	failed := make(chan struct{})
+	var started atomic.Int32
+
+	fail := func(experiments.Params) (*experiments.Table, error) {
+		started.Add(1)
+		close(failed)
+		return nil, errBoom
+	}
+	gated := func(experiments.Params) (*experiments.Table, error) {
+		started.Add(1)
+		<-failed // hold this worker until the failure has happened
+		return &experiments.Table{}, nil
+	}
+	queued := func(experiments.Params) (*experiments.Table, error) {
+		started.Add(1)
+		return &experiments.Table{}, nil
+	}
+
+	ids := []string{"gated", "fail", "q1", "q2", "q3", "q4"}
+	drivers := []experiments.Driver{gated, fail, queued, queued, queued, queued}
+	results, err := RunDrivers(context.Background(), ids, drivers, experiments.Params{}, 2)
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("pool error = %v, want the driver's own error", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "fail") {
+		t.Fatalf("pool error %q does not name the failing experiment", err)
+	}
+	if n := started.Load(); n != 2 {
+		t.Fatalf("%d drivers started, want exactly the 2 in flight at failure time", n)
+	}
+	if len(results) != len(ids) {
+		t.Fatalf("%d results for %d ids", len(results), len(ids))
+	}
+	if results[0].Err != nil || results[0].Table == nil {
+		t.Fatalf("in-flight driver result corrupted: %+v", results[0])
+	}
+	if !errors.Is(results[1].Err, errBoom) {
+		t.Fatalf("failing driver result = %+v, want errBoom", results[1])
+	}
+	for _, r := range results[2:] {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("queued %s: err = %v, want context.Canceled", r.ID, r.Err)
+		}
+		if r.Table != nil || r.Elapsed != 0 {
+			t.Fatalf("queued %s ran anyway: %+v", r.ID, r)
+		}
+	}
+
+	// Worker goroutines must be gone. No third-party leak detector in
+	// this module, so poll the counter back to (near) baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d at start", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunDriversLengthMismatch pins the ids/drivers contract.
+func TestRunDriversLengthMismatch(t *testing.T) {
+	_, err := RunDrivers(context.Background(), []string{"a", "b"}, []experiments.Driver{nil}, experiments.Params{}, 1)
+	if err == nil {
+		t.Fatal("mismatched ids/drivers accepted")
 	}
 }

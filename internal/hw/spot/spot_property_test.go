@@ -1,0 +1,163 @@
+package spot
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+// spotStream drives one (pc, offset) pair through count miss cycles,
+// with VAs drawn randomly from the pc's region, and returns the outcome
+// tally. Every access has truth = va - offset, the definition of an
+// offset-stable mapping.
+func spotStream(t *Table, r *rand.Rand, pc uint64, off addr.Offset, count int) (correct, mispred, nopred int) {
+	for i := 0; i < count; i++ {
+		va := addr.VirtAddr(uint64(off) + r.Uint64()%(1<<30))
+		truth := off.Target(va)
+		pred, did := t.Predict(pc, va)
+		switch t.Verify(pc, va, truth, pred, did, true) {
+		case Correct:
+			correct++
+		case Mispredict:
+			mispred++
+		default:
+			nopred++
+		}
+	}
+	return
+}
+
+// TestPropertyOffsetStableStreams is the paper's central SpOT claim as
+// a property: for ANY offset-stable stream — any PC, any offset, any VA
+// sequence — the table warms up in a bounded number of misses and then
+// predicts every translation exactly. Randomized over many (pc, offset)
+// draws rather than hand-picked examples.
+func TestPropertyOffsetStableStreams(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tab := New(32, 4)
+		pc := r.Uint64() &^ 3
+		off := addr.Offset(r.Uint64() % (1 << 40))
+
+		// Warm-up: insert at conf=1, one correct verify reaches conf=2.
+		// From the 3rd access on the entry is confident, so predictions
+		// must be issued and exact for the whole tail.
+		correct, mispred, nopred := spotStream(tab, r, pc, off, 2)
+		if mispred != 0 {
+			t.Fatalf("seed %d: %d mispredictions during warm-up", seed, mispred)
+		}
+		if nopred != 2 || correct != 0 {
+			t.Fatalf("seed %d: warm-up tally correct=%d nopred=%d, want 0/2", seed, correct, nopred)
+		}
+		correct, mispred, nopred = spotStream(tab, r, pc, off, 500)
+		if correct != 500 {
+			t.Fatalf("seed %d: trained stream: correct=%d mispred=%d nopred=%d, want 500 correct",
+				seed, correct, mispred, nopred)
+		}
+		if conf, ok := tab.Confidence(pc); !ok || conf != 3 {
+			t.Fatalf("seed %d: confidence %d (found=%v), want saturated 3", seed, conf, ok)
+		}
+	}
+}
+
+// TestPropertyRetrainAfterOffsetSwitch models the OS migrating the
+// region (e.g. a daemon compaction): the offset changes once, the old
+// confident entry must decay, retrain to the new offset, and the tail
+// be mispredict-free again. Mispredictions during the transition are
+// bounded by the confidence mechanism: from saturated conf=3 exactly
+// two predictions fire wrong (conf 3→2, 2→1); at conf<=1 prediction
+// stops, the entry decays to 0 and is replaced, then two correct
+// verifies re-arm it.
+func TestPropertyRetrainAfterOffsetSwitch(t *testing.T) {
+	t.Parallel()
+	for seed := int64(1); seed <= 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		tab := New(32, 4)
+		pc := r.Uint64() &^ 3
+		oldOff := addr.Offset(r.Uint64() % (1 << 40))
+		newOff := oldOff + addr.Offset(1+r.Uint64()%(1<<30))
+
+		spotStream(tab, r, pc, oldOff, 50) // train to saturation
+
+		correct, mispred, nopred := spotStream(tab, r, pc, newOff, 6)
+		if mispred != 2 {
+			t.Fatalf("seed %d: %d mispredictions across the switch, want exactly 2 (conf 3→1)", seed, mispred)
+		}
+		// conf 1→0 (replace, conf=1), then conf=1 correct → 2: two more
+		// unpredicted accesses before the 2 don't-care slots of the 6.
+		if nopred < 2 {
+			t.Fatalf("seed %d: nopred=%d during retrain, want >=2", seed, nopred)
+		}
+		_ = correct
+		correct, mispred, _ = spotStream(tab, r, pc, newOff, 500)
+		if correct != 500 || mispred != 0 {
+			t.Fatalf("seed %d: post-retrain tail correct=%d mispred=%d, want 500/0", seed, correct, mispred)
+		}
+	}
+}
+
+// TestPropertyManyPCsIndependent trains a full table's worth of PCs,
+// each with its own offset, interleaved in random order: entries must
+// not interfere as long as no set exceeds its ways. Uses strided PCs
+// that spread one per set across all 8 sets, 4 rounds deep (32 = exactly
+// the table), so every insert finds a free way.
+func TestPropertyManyPCsIndependent(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(99))
+	tab := New(32, 4)
+	type stream struct {
+		pc  uint64
+		off addr.Offset
+	}
+	var streams []stream
+	for i := 0; i < 32; i++ {
+		// pc>>2 indexes the set: i fills sets round-robin.
+		streams = append(streams, stream{pc: uint64(i) << 2, off: addr.Offset(r.Uint64() % (1 << 40))})
+	}
+	// Train all streams past confidence threshold, interleaved.
+	for round := 0; round < 4; round++ {
+		for _, i := range r.Perm(len(streams)) {
+			s := streams[i]
+			spotStream(tab, r, s.pc, s.off, 1)
+		}
+	}
+	// Every stream must now predict exactly, still interleaved.
+	for round := 0; round < 20; round++ {
+		for _, i := range r.Perm(len(streams)) {
+			s := streams[i]
+			correct, mispred, nopred := spotStream(tab, r, s.pc, s.off, 1)
+			if correct != 1 {
+				t.Fatalf("round %d pc %#x: correct=%d mispred=%d nopred=%d, want prediction hit",
+					round, s.pc, correct, mispred, nopred)
+			}
+		}
+	}
+}
+
+// TestPropertyFilterBlocksUntrustedFills checks the contiguity-bit gate
+// end to end: with fillAllowed=false throughout, the table never learns
+// the stream (all no-prediction), and FillRejects accounts for every
+// rejected fill.
+func TestPropertyFilterBlocksUntrustedFills(t *testing.T) {
+	t.Parallel()
+	r := rand.New(rand.NewSource(7))
+	tab := New(32, 4)
+	pc := uint64(0x40_1000)
+	off := addr.Offset(1 << 21)
+	for i := 0; i < 200; i++ {
+		va := addr.VirtAddr(uint64(off) + r.Uint64()%(1<<30))
+		pred, did := tab.Predict(pc, va)
+		if did {
+			t.Fatalf("access %d: prediction issued despite fills never being allowed", i)
+		}
+		tab.Verify(pc, va, off.Target(va), pred, did, false)
+	}
+	if tab.FillRejects != 200 {
+		t.Fatalf("FillRejects=%d, want 200", tab.FillRejects)
+	}
+	if _, ok := tab.Confidence(pc); ok {
+		t.Fatal("entry exists despite the filter rejecting every fill")
+	}
+}

@@ -62,6 +62,15 @@ func New(entries, ways int) *TLB {
 // least the entry count requested from New.
 func (t *TLB) Entries() int { return int(t.nsets) * t.ways }
 
+// Ways returns the effective associativity (after any geometry rounding
+// New performed). Reference models size their compatibility bounds off
+// it: a set-associative LRU and a fully-associative LRU of the same
+// capacity agree exactly on streams with at most Ways distinct tags.
+func (t *TLB) Ways() int { return t.ways }
+
+// Sets returns the effective set count (a power of two).
+func (t *TLB) Sets() int { return int(t.nsets) }
+
 // Lookups returns the number of lookups performed.
 func (t *TLB) Lookups() uint64 { return t.lookups }
 

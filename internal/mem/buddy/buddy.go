@@ -400,6 +400,18 @@ func (b *Buddy) VisitMaxOrder(fn func(pfn addr.PFN)) {
 	}
 }
 
+// VisitFreeBlocks calls fn for every free block on every free list,
+// ascending order first, list order within an order. External checkers
+// (the differential buddy oracle in internal/check) use it to compare
+// the allocator's free set against a reference bitmap.
+func (b *Buddy) VisitFreeBlocks(fn func(pfn addr.PFN, order int)) {
+	for o := 0; o <= addr.MaxOrder; o++ {
+		for i := b.heads[o]; i != nilLink; i = b.next[i] {
+			fn(b.pfnAt(i), o)
+		}
+	}
+}
+
 // LargestAlignedFree returns the order of the largest free block
 // available (possibly after coalescing state already reflected in the
 // lists), or -1 if memory is exhausted.

@@ -355,5 +355,18 @@ func (m *Map) CheckInvariants(b *buddy.Buddy) error {
 	if mapped != uint64(len(onList)) {
 		return fmt.Errorf("map covers %d blocks, buddy list has %d", mapped, len(onList))
 	}
+	// The byID index must agree with the address-sorted list exactly:
+	// a cluster reachable by ID but not linked (or vice versa) means a
+	// split/merge left the two views diverged.
+	linked := 0
+	for c := m.head; c != nil; c = c.next {
+		if m.byID[c.id] != c {
+			return fmt.Errorf("cluster %v not indexed under its id", c)
+		}
+		linked++
+	}
+	if linked != len(m.byID) {
+		return fmt.Errorf("list has %d clusters, byID has %d", linked, len(m.byID))
+	}
 	return nil
 }

@@ -243,7 +243,11 @@ func (p *Process) mmap(size uint64, kind vma.Kind, fileID int, fileOff uint64) (
 	v.FileOff = fileOff
 	v.Budget = p.kernel.OffsetBudget
 	if err := p.kernel.Policy.OnMMap(p.kernel, p, v); err != nil {
-		p.VMAs.Remove(v)
+		// The hook may have backed part of the VMA before failing
+		// (eager paging running out of memory mid-loop); MUnmap tears
+		// down any partial backing before dropping the VMA, so no
+		// orphaned translations or RSS survive a failed mmap.
+		p.MUnmap(v)
 		return nil, err
 	}
 	return v, nil

@@ -83,6 +83,26 @@ func (c *PageCache) CreateFile(bytes uint64) *File {
 // File returns the file with the given ID, or nil.
 func (c *PageCache) File(id int) *File { return c.files[id] }
 
+// VisitCached calls fn for every resident cache page, in file-ID then
+// file-page order. Auditors use it to account for the cache's base
+// reference on each resident frame when reconciling MapCount against
+// page-table leaves.
+func (c *PageCache) VisitCached(fn func(f *File, pageIdx uint64, pfn addr.PFN)) {
+	ids := make([]int, 0, len(c.files))
+	for id := range c.files {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		f := c.files[id]
+		for idx := uint64(0); idx < f.Pages(); idx++ {
+			if pfn, ok := f.cachedPFN(idx); ok {
+				fn(f, idx, pfn)
+			}
+		}
+	}
+}
+
 // lookupOrFill returns the frame caching the file page, populating a
 // readahead window on miss. Cache fills charge allocation time on the
 // kernel clock but are *not* page faults: readahead allocation runs

@@ -107,6 +107,11 @@ func New(host *osim.Kernel, cfg Config) (*VM, error) {
 // MemPages returns the guest physical memory size in pages.
 func (vm *VM) MemPages() uint64 { return vm.memPages }
 
+// HostVMA returns the single host VMA backing guest physical memory.
+// Auditors use it to tie guest-side frame ownership to the host-side
+// mapping state.
+func (vm *VM) HostVMA() *vma.VMA { return vm.hostVMA }
+
 // HostVAOf maps a guest physical address to its host virtual address in
 // the VM's backing VMA.
 func (vm *VM) HostVAOf(gpa addr.PhysAddr) addr.VirtAddr {
