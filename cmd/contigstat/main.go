@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -19,20 +20,26 @@ import (
 	"repro/internal/workloads"
 )
 
-func main() {
+// run is the whole tool behind an exit code, so tests can drive it and
+// assert on output. Exit codes: 0 clean, 1 run failure, 2 usage.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("contigstat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("workload", "pagerank", "svm|pagerank|hashjoin|xsbench|bt")
-		policy  = flag.String("policy", "ca", "default|ca|eager|ideal|ingens|ranger")
-		virtual = flag.Bool("virtual", false, "run inside a VM (policy applied in both dimensions)")
-		top     = flag.Int("top", 16, "print the N largest mappings")
-		seed    = flag.Int64("seed", 1, "workload seed")
+		name    = fs.String("workload", "pagerank", "svm|pagerank|hashjoin|xsbench|bt")
+		policy  = fs.String("policy", "ca", "default|ca|eager|ideal|ingens|ranger")
+		virtual = fs.Bool("virtual", false, "run inside a VM (policy applied in both dimensions)")
+		top     = fs.Int("top", 16, "print the N largest mappings")
+		seed    = fs.Int64("seed", 1, "workload seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	w := workloads.ByName(*name)
 	if w == nil {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "unknown workload %q\n", *name)
+		return 2
 	}
 	var env *workloads.Env
 	var err error
@@ -50,21 +57,21 @@ func main() {
 		}
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	if err := core.Setup(env, w, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 	rep := core.Contiguity(env)
 	kind := "native"
 	if *virtual {
 		kind = "2D (gVA->hPA)"
 	}
-	fmt.Printf("%s / %s: %d %s mappings over %d MiB\n",
+	fmt.Fprintf(stdout, "%s / %s: %d %s mappings over %d MiB\n",
 		w.Name(), *policy, len(rep.Mappings), kind, rep.TotalPages*4096>>20)
-	fmt.Printf("coverage: top-32 %.3f, top-128 %.3f; 99%% of footprint in %d mappings\n",
+	fmt.Fprintf(stdout, "coverage: top-32 %.3f, top-128 %.3f; 99%% of footprint in %d mappings\n",
 		rep.Cov32, rep.Cov128, rep.Maps99)
 	sorted := append([]metrics.Mapping(nil), rep.Mappings...)
 	metrics.SortBySize(sorted)
@@ -72,9 +79,14 @@ func main() {
 	if n > len(sorted) {
 		n = len(sorted)
 	}
-	fmt.Printf("%-18s %-14s %-12s %s\n", "VA", "PA", "pages", "size")
+	fmt.Fprintf(stdout, "%-18s %-14s %-12s %s\n", "VA", "PA", "pages", "size")
 	for _, m := range sorted[:n] {
-		fmt.Printf("0x%-16x 0x%-12x %-12d %d MiB\n",
+		fmt.Fprintf(stdout, "0x%-16x 0x%-12x %-12d %d MiB\n",
 			uint64(m.VA), uint64(m.PA), m.Pages, m.Pages*4096>>20)
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestNativeRun(t *testing.T) {
+	code, out, stderr := runTool(t, "-workload", "pagerank", "-policy", "ca", "-top", "3")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "pagerank / ca") || !strings.Contains(out, "native mappings") {
+		t.Errorf("missing run header:\n%s", out)
+	}
+	if !strings.Contains(out, "coverage: top-32") {
+		t.Errorf("missing coverage line:\n%s", out)
+	}
+	// -top 3 caps the mapping dump: header + 2 summary lines + <=3 rows.
+	if n := strings.Count(out, "\n"); n > 6 {
+		t.Errorf("-top 3 printed %d lines, want <=6:\n%s", n, out)
+	}
+}
+
+func TestVirtualRun(t *testing.T) {
+	code, out, stderr := runTool(t, "-workload", "pagerank", "-policy", "ca", "-virtual", "-top", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "2D (gVA->hPA)") {
+		t.Errorf("virtual run should report 2D mappings:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, stderr := runTool(t, "-workload", "nosuch"); code != 2 || !strings.Contains(stderr, "nosuch") {
+		t.Errorf("unknown workload: exit %d stderr %q, want 2 naming it", code, stderr)
+	}
+	if code, _, _ := runTool(t, "-bogus"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strconv"
@@ -19,44 +20,55 @@ import (
 	"repro/internal/workloads"
 )
 
-func main() {
+// run is the whole tool behind an exit code, so tests can drive it and
+// assert on output. Exit codes: 0 clean, 1 run failure, 2 usage.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fragmeter", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name     = flag.String("workload", "pagerank", "svm|pagerank|hashjoin|xsbench|bt")
-		policies = flag.String("policies", "ca,eager,ideal", "comma-separated policies")
-		steps    = flag.String("steps", "0,10,20,30,40,50", "hog pressure percentages")
-		seed     = flag.Int64("seed", 42, "hog placement seed")
+		name     = fs.String("workload", "pagerank", "svm|pagerank|hashjoin|xsbench|bt")
+		policies = fs.String("policies", "ca,eager,ideal", "comma-separated policies")
+		steps    = fs.String("steps", "0,10,20,30,40,50", "hog pressure percentages")
+		seed     = fs.Int64("seed", 42, "hog placement seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	w := workloads.ByName(*name)
 	if w == nil {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *name)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "unknown workload %q\n", *name)
+		return 2
 	}
-	fmt.Printf("%-10s %-8s %-8s %-8s %-8s\n", "pressure", "policy", "cov32", "cov128", "maps99")
+	fmt.Fprintf(stdout, "%-10s %-8s %-8s %-8s %-8s\n", "pressure", "policy", "cov32", "cov128", "maps99")
 	for _, stepStr := range strings.Split(*steps, ",") {
 		pctv, err := strconv.Atoi(strings.TrimSpace(stepStr))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad step %q\n", stepStr)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "bad step %q\n", stepStr)
+			return 2
 		}
 		for _, policy := range strings.Split(*policies, ",") {
 			policy = strings.TrimSpace(policy)
 			// Single zone (NUMA off), like the paper's pressure study.
 			sys, err := core.NewNativeSystem(core.Config{Policy: policy, ZonesMiB: []int{1280}})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			workloads.Hog(sys.Kernel.Machine, float64(pctv)/100, rand.New(rand.NewSource(*seed)))
 			env := sys.NewEnv()
 			if err := core.Setup(env, workloads.ByName(*name), 1); err != nil {
-				fmt.Fprintf(os.Stderr, "%s@%d%%: %v\n", policy, pctv, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "%s@%d%%: %v\n", policy, pctv, err)
+				return 1
 			}
 			rep := core.Contiguity(env)
-			fmt.Printf("%-10s %-8s %-8.3f %-8.3f %-8d\n",
+			fmt.Fprintf(stdout, "%-10s %-8s %-8.3f %-8.3f %-8d\n",
 				fmt.Sprintf("hog-%d%%", pctv), policy, rep.Cov32, rep.Cov128, rep.Maps99)
 		}
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runTool(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestSweepRows(t *testing.T) {
+	code, out, stderr := runTool(t, "-workload", "pagerank", "-policies", "ca,eager", "-steps", "0,25")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "pressure") || !strings.Contains(out, "cov32") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	// 2 steps x 2 policies = 4 data rows.
+	for _, want := range []string{"hog-0%", "hog-25%"} {
+		if strings.Count(out, want) != 2 {
+			t.Errorf("want 2 rows for %s:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "\n"); n != 5 {
+		t.Errorf("want header + 4 rows, got %d lines:\n%s", n, out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, stderr := runTool(t, "-workload", "nosuch"); code != 2 || !strings.Contains(stderr, "nosuch") {
+		t.Errorf("unknown workload: exit %d stderr %q, want 2 naming it", code, stderr)
+	}
+	if code, _, stderr := runTool(t, "-steps", "x"); code != 2 || !strings.Contains(stderr, "bad step") {
+		t.Errorf("bad step: exit %d stderr %q, want 2", code, stderr)
+	}
+	if code, _, _ := runTool(t, "-bogus"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}

@@ -6,8 +6,10 @@
 //
 //	reproduce -list
 //	reproduce -exp fig7
+//	reproduce -exp table1,fig10
 //	reproduce -exp all [-jobs 8] [-stream 1000000] [-settle 400] [-seed 1]
 //	reproduce -exp all -cpuprofile cpu.prof -memprofile mem.prof -timing timing.json
+//	reproduce -exp table1 -trace trace.json -counters counters.csv
 //
 // Experiments are mutually independent and deterministic in their
 // parameters, so -exp all fans them out on a worker pool; tables print
@@ -18,6 +20,12 @@
 // §7: -cpuprofile/-memprofile write standard pprof profiles around the
 // sweep, and -timing writes the per-experiment wall-clock breakdown as
 // JSON (the format committed as BENCH_*.json trajectory points).
+//
+// The tracing flags (DESIGN.md §9) attach a process-wide tracer to
+// every experiment in the run: -trace writes Chrome trace-event JSON
+// (load it at ui.perfetto.dev or summarize with cmd/tracestat), and
+// -counters writes the counter time series as CSV. Tables are
+// byte-identical with tracing on or off.
 package main
 
 import (
@@ -28,10 +36,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/experiments/runner"
+	"repro/internal/trace"
 )
 
 // timingReport is the -timing JSON schema: enough provenance (params,
@@ -53,6 +63,37 @@ type timingResult struct {
 	MS float64 `json:"ms"`
 }
 
+// writeTraceOutputs flushes the tracer's exporters; it also runs on the
+// partial-failure path so a crashed sweep still yields its trace.
+func writeTraceOutputs(tr *trace.Tracer, tracePath, countersPath string) {
+	if tr == nil {
+		return
+	}
+	write := func(path string, export func(*os.File) error) {
+		if path == "" {
+			return
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := export(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	write(tracePath, func(f *os.File) error { return tr.WriteChromeTrace(f) })
+	write(countersPath, func(f *os.File) error { return tr.WriteCounterCSV(f) })
+	if tr.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "trace: event buffer full, %d events dropped (counters stay exact)\n", tr.Dropped())
+	}
+}
+
 func main() {
 	var (
 		exp        = flag.String("exp", "", "experiment id (see -list) or 'all'")
@@ -64,6 +105,8 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to `file`")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile after the sweep to `file`")
 		timing     = flag.String("timing", "", "write per-experiment wall-clock JSON to `file`")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to `file`")
+		counters   = flag.String("counters", "", "write the traced counter time series as CSV to `file`")
 	)
 	flag.Parse()
 	if *list || *exp == "" {
@@ -82,9 +125,14 @@ func main() {
 		Seed:         *seed,
 		Jobs:         *jobs,
 	}
+	var tr *trace.Tracer
+	if *traceOut != "" || *counters != "" {
+		tr = trace.New()
+		params.Tracer = tr
+	}
 	ids := experiments.IDs()
 	if *exp != "all" {
-		ids = []string{*exp}
+		ids = strings.Split(*exp, ",")
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -110,6 +158,7 @@ func main() {
 				r.Table.Render(os.Stdout)
 			}
 		}
+		writeTraceOutputs(tr, *traceOut, *counters)
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -117,6 +166,7 @@ func main() {
 		r.Table.Render(os.Stdout)
 		fmt.Printf("(%s took %s)\n\n", r.ID, r.Elapsed.Round(1e6))
 	}
+	writeTraceOutputs(tr, *traceOut, *counters)
 	if *timing != "" {
 		rep := timingReport{
 			Date:      time.Now().UTC().Format(time.RFC3339),

@@ -1,0 +1,199 @@
+// Command tracestat summarizes a Chrome trace-event JSON written by
+// cmd/reproduce -trace (DESIGN.md §9): event counts by kind, span
+// durations, and the fault-to-promotion latency histogram — how long a
+// 2 MiB region waited between its first fault and its promotion, the
+// delay CA paging exists to eliminate (paper Fig. 1b).
+//
+// Usage:
+//
+//	tracestat trace.json
+//	tracestat -top 25 trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"sort"
+
+	"repro/internal/mem/addr"
+)
+
+// traceEvent is the subset of the Chrome trace-event schema the
+// exporter writes (internal/trace.WriteChromeTrace).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur"`
+	Args map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// arg reads a numeric argument the exporter wrote; encoding/json
+// decodes them as float64.
+func arg(e traceEvent, key string) (uint64, bool) {
+	v, ok := e.Args[key]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	if !ok || f < 0 {
+		return 0, false
+	}
+	return uint64(f), true
+}
+
+// faultKinds are the event names carrying a va + clock pair that can
+// open a promotion-latency interval.
+var faultKinds = map[string]bool{
+	"fault.4k":    true,
+	"fault.huge":  true,
+	"fault.cow":   true,
+	"fault.file":  true,
+	"fault.eager": true,
+}
+
+// run is the whole tool behind an exit code, so tests can drive it with
+// crafted traces and assert on output. Exit codes: 0 clean, 2 usage or
+// unreadable input.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracestat", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 15, "print the N most frequent event kinds")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "tracestat: exactly one trace.json argument required")
+		fs.Usage()
+		return 2
+	}
+	buf, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "tracestat:", err)
+		return 2
+	}
+	var tf traceFile
+	if err := json.Unmarshal(buf, &tf); err != nil {
+		fmt.Fprintf(stderr, "tracestat: %s: %v\n", fs.Arg(0), err)
+		return 2
+	}
+
+	counts := map[string]uint64{}
+	spanDur := map[string]uint64{}
+	spanCount := map[string]uint64{}
+	// Earliest fault clock per huge-aligned region, and the resulting
+	// promotion latencies.
+	firstFault := map[uint64]uint64{}
+	var promoteLat []uint64
+	total := 0
+	for _, e := range tf.TraceEvents {
+		if e.Ph == "M" {
+			continue // metadata, not a recorded event
+		}
+		total++
+		counts[e.Name]++
+		if e.Ph == "X" {
+			spanDur[e.Name] += e.Dur
+			spanCount[e.Name]++
+		}
+		if faultKinds[e.Name] {
+			va, okV := arg(e, "va")
+			clock, okC := arg(e, "clock")
+			if okV && okC {
+				base := va &^ (addr.HugeSize - 1)
+				if prev, ok := firstFault[base]; !ok || clock < prev {
+					firstFault[base] = clock
+				}
+			}
+		}
+		if e.Name == "promote" {
+			va, okV := arg(e, "va")
+			clock, okC := arg(e, "clock")
+			if okV && okC {
+				base := va &^ (addr.HugeSize - 1)
+				if first, ok := firstFault[base]; ok && clock >= first {
+					promoteLat = append(promoteLat, clock-first)
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(stdout, "events: %d (%d kinds)\n\n", total, len(counts))
+
+	type kv struct {
+		name string
+		n    uint64
+	}
+	byCount := make([]kv, 0, len(counts))
+	for k, v := range counts {
+		byCount = append(byCount, kv{k, v})
+	}
+	sort.Slice(byCount, func(i, j int) bool {
+		if byCount[i].n != byCount[j].n {
+			return byCount[i].n > byCount[j].n
+		}
+		return byCount[i].name < byCount[j].name
+	})
+	n := *top
+	if n > len(byCount) {
+		n = len(byCount)
+	}
+	fmt.Fprintf(stdout, "top %d event kinds:\n", n)
+	for _, e := range byCount[:n] {
+		fmt.Fprintf(stdout, "  %-18s %d\n", e.name, e.n)
+	}
+
+	if len(spanDur) > 0 {
+		names := make([]string, 0, len(spanDur))
+		for k := range spanDur {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(stdout, "\nspans (total duration, count):\n")
+		for _, k := range names {
+			fmt.Fprintf(stdout, "  %-24s %-12d %d\n", k, spanDur[k], spanCount[k])
+		}
+	}
+
+	fmt.Fprintln(stdout)
+	if len(promoteLat) == 0 {
+		fmt.Fprintln(stdout, "fault->promotion latency: no promotions in trace")
+		return 0
+	}
+	// Log2 histogram of simulated nanoseconds between a region's first
+	// fault and its promotion.
+	var buckets [65]uint64
+	maxBucket := 0
+	for _, lat := range promoteLat {
+		b := bits.Len64(lat) // 0 for lat==0, else floor(log2)+1
+		buckets[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	fmt.Fprintf(stdout, "fault->promotion latency (%d promotions, log2 ns buckets):\n", len(promoteLat))
+	for b := 0; b <= maxBucket; b++ {
+		if buckets[b] == 0 {
+			continue
+		}
+		lo, hi := uint64(0), uint64(0)
+		if b > 0 {
+			lo = uint64(1) << (b - 1)
+			hi = uint64(1)<<b - 1
+		}
+		fmt.Fprintf(stdout, "  [%d, %d] ns: %d\n", lo, hi, buckets[b])
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

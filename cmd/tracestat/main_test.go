@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTrace(t *testing.T, events []map[string]any) string {
+	t.Helper()
+	buf, err := json.Marshal(map[string]any{"traceEvents": events})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runStat(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func ev(name, ph string, ts uint64, args map[string]any) map[string]any {
+	return map[string]any{"name": name, "ph": ph, "ts": ts, "pid": 1, "tid": 1, "args": args}
+}
+
+func TestSummaryAndHistogram(t *testing.T) {
+	// Two faults open the same 2 MiB region (earliest clock wins), one
+	// promotion closes it 3000 ns later: one latency in bucket [2048,4095].
+	path := writeTrace(t, []map[string]any{
+		{"name": "process_name", "ph": "M", "pid": 1, "args": map[string]any{"name": "repro"}},
+		ev("fault.4k", "i", 1, map[string]any{"va": 0x200000, "lat_ns": 600, "clock": 1000}),
+		ev("fault.4k", "i", 2, map[string]any{"va": 0x201000, "lat_ns": 600, "clock": 2500}),
+		ev("fault.4k", "i", 3, map[string]any{"va": 0x400000, "lat_ns": 600, "clock": 1500}),
+		ev("promote", "i", 4, map[string]any{"va": 0x200000, "pfn": 512, "clock": 4000}),
+		{"name": "daemon.ingens", "ph": "X", "ts": 5, "dur": 7, "pid": 1, "tid": 2,
+			"args": map[string]any{"promotions": 1}},
+	})
+	code, out, _ := runStat(t, path)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	// 5 recorded events; the metadata record is not one of them.
+	if !strings.Contains(out, "events: 5") {
+		t.Errorf("metadata counted as an event:\n%s", out)
+	}
+	if !strings.Contains(out, "fault.4k") || !strings.Contains(out, "3") {
+		t.Errorf("fault.4k count missing:\n%s", out)
+	}
+	if !strings.Contains(out, "daemon.ingens") || !strings.Contains(out, "7") {
+		t.Errorf("span duration missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1 promotions") {
+		t.Errorf("promotion count missing:\n%s", out)
+	}
+	// latency 4000-1000=3000 -> log2 bucket [2048, 4095].
+	if !strings.Contains(out, "[2048, 4095] ns: 1") {
+		t.Errorf("histogram bucket missing:\n%s", out)
+	}
+}
+
+func TestNoPromotions(t *testing.T) {
+	path := writeTrace(t, []map[string]any{
+		ev("fault.4k", "i", 1, map[string]any{"va": 0x200000, "lat_ns": 600, "clock": 1000}),
+	})
+	code, out, _ := runStat(t, path)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0 for a promotion-free trace", code)
+	}
+	if !strings.Contains(out, "no promotions") {
+		t.Errorf("missing no-promotions notice:\n%s", out)
+	}
+}
+
+func TestTopLimitsKinds(t *testing.T) {
+	path := writeTrace(t, []map[string]any{
+		ev("fault.4k", "i", 1, nil),
+		ev("fault.4k", "i", 2, nil),
+		ev("tlb.miss", "i", 3, nil),
+		ev("promote", "i", 4, nil),
+	})
+	code, out, _ := runStat(t, "-top", "1", path)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0", code)
+	}
+	if !strings.Contains(out, "top 1 event kinds") || !strings.Contains(out, "fault.4k") {
+		t.Errorf("-top 1 should keep only the most frequent kind:\n%s", out)
+	}
+	if strings.Contains(out, "tlb.miss") {
+		t.Errorf("-top 1 leaked a second kind:\n%s", out)
+	}
+}
+
+func TestUsageAndLoadErrors(t *testing.T) {
+	if code, _, stderr := runStat(t); code != 2 || !strings.Contains(stderr, "argument") {
+		t.Errorf("no args: exit %d stderr %q, want 2 and a usage message", code, stderr)
+	}
+	if code, _, _ := runStat(t, "-bogus"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+	if code, _, stderr := runStat(t, filepath.Join(t.TempDir(), "absent.json")); code != 2 || stderr == "" {
+		t.Errorf("missing file: exit %d stderr %q, want 2 and an error", code, stderr)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runStat(t, bad); code != 2 || !strings.Contains(stderr, "bad.json") {
+		t.Errorf("corrupt file: exit %d stderr %q, want 2 naming the file", code, stderr)
+	}
+}

@@ -26,7 +26,7 @@ func AblationPlacement(p Params) (*Table, error) {
 		Notes:  []string{"next-fit (the paper's choice) must produce far fewer mappings"},
 	}
 	for _, firstFit := range []bool{false, true} {
-		k, _ := newNativeKernel(PolicyCA, false)
+		k, _ := newNativeKernel(p, PolicyCA, false)
 		for _, z := range k.Machine.Zones {
 			z.Contig.SetFirstFit(firstFit)
 		}
@@ -59,7 +59,7 @@ func AblationSortedMaxOrder(p Params) (*Table, error) {
 		Notes:  []string{"sorting keeps scattered 4K allocations from splitting distant large blocks"},
 	}
 	for _, sorted := range []bool{true, false} {
-		k, _ := newNativeKernel(PolicyCA, true /* single zone */)
+		k, _ := newNativeKernel(p, PolicyCA, true /* single zone */)
 		for _, z := range k.Machine.Zones {
 			z.Buddy.SetSorted(sorted)
 		}
@@ -132,7 +132,7 @@ func AblationOffsetBudget(p Params) (*Table, error) {
 		Notes:  []string{"the 64-offset FIFO keeps sub-VMA placements usable; 1 offset thrashes"},
 	}
 	for _, budget := range []int{1, 4, 64} {
-		k, _ := newNativeKernel(PolicyCA, true)
+		k, _ := newNativeKernel(p, PolicyCA, true)
 		k.OffsetBudget = budget
 		workloads.Hog(k.Machine, 0.35, rand.New(rand.NewSource(7)))
 		env := workloads.NewNativeEnv(k, 0)
@@ -177,7 +177,7 @@ func AblationSpotConfidence(p Params) (*Table, error) {
 		{"no fill filter", sim.Config{EnableSchemes: true, SpotNoFilter: true}},
 	}
 	for _, v := range variants {
-		vm, _, err := newVM(PolicyCA, PolicyCA)
+		vm, _, err := newVM(p, PolicyCA, PolicyCA)
 		if err != nil {
 			return nil, err
 		}
@@ -189,6 +189,7 @@ func AblationSpotConfidence(p Params) (*Table, error) {
 		}
 		cfg := v.cfg
 		cfg.NoWalkCache = p.NoWalkCache
+		cfg.Tracer = p.Tracer
 		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), cfg)
 		if err != nil {
 			return nil, err
@@ -216,7 +217,7 @@ func AblationSpotGeometry(p Params) (*Table, error) {
 	for _, geo := range []struct{ entries, ways int }{
 		{8, 2}, {16, 4}, {32, 4}, {64, 4}, {128, 8},
 	} {
-		vm, _, err := newVM(PolicyCA, PolicyCA)
+		vm, _, err := newVM(p, PolicyCA, PolicyCA)
 		if err != nil {
 			return nil, err
 		}
@@ -227,7 +228,7 @@ func AblationSpotGeometry(p Params) (*Table, error) {
 			return nil, err
 		}
 		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen),
-			sim.Config{EnableSchemes: true, SpotEntries: geo.entries, SpotWays: geo.ways, NoWalkCache: p.NoWalkCache})
+			sim.Config{EnableSchemes: true, SpotEntries: geo.entries, SpotWays: geo.ways, NoWalkCache: p.NoWalkCache, Tracer: p.Tracer})
 		if err != nil {
 			return nil, err
 		}

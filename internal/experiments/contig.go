@@ -79,7 +79,7 @@ func Fig8Sweep(p Params, pressures []float64, names []string, policies []PolicyN
 		pressure := pressures[i/(len(policies)*len(names))]
 		pol := policies[(i/len(names))%len(policies)]
 		name := names[i%len(names)]
-		k, ds := newNativeKernel(pol, true /* numaOff */)
+		k, ds := newNativeKernel(p, pol, true /* numaOff */)
 		workloads.Hog(k.Machine, pressure, rand.New(rand.NewSource(42)))
 		env := workloads.NewNativeEnv(k, 0)
 		env.Daemons = ds
@@ -129,7 +129,7 @@ func Fig9(p Params) (*Table, error) {
 		},
 	}
 	for _, pol := range []PolicyName{PolicyTHP, PolicyCA} {
-		k, ds := newNativeKernel(pol, false)
+		k, ds := newNativeKernel(p, pol, false)
 		// The machine has aged before the suite runs (scattered
 		// long-lived pages); the ageing is released before measuring,
 		// so the remaining fragmentation is what each policy's own
@@ -202,7 +202,7 @@ func Fig10(p Params) (*Table, error) {
 		},
 	}
 	for _, pol := range []PolicyName{PolicyCA, PolicyEager, PolicyRanger} {
-		k, ds := newNativeKernel(pol, false)
+		k, ds := newNativeKernel(p, pol, false)
 		envA := workloads.NewNativeEnv(k, 0)
 		envB := workloads.NewNativeEnv(k, 0)
 		envA.Daemons = ds
@@ -272,7 +272,7 @@ func Fig1b(p Params) (*Table, error) {
 	}
 	results := map[PolicyName][]float64{}
 	for _, pol := range []PolicyName{PolicyEager, PolicyCA} {
-		k, ds := newNativeKernel(pol, false)
+		k, ds := newNativeKernel(p, pol, false)
 		for run := 0; run < 10; run++ {
 			// Between runs the machine ages: long-lived pages (page
 			// cache of other IO, daemon state) accumulate at scattered
@@ -321,7 +321,7 @@ func Fig1c(p Params) (*Table, error) {
 	const samples = 12
 	series := make([]point, samples)
 	for _, pol := range []PolicyName{PolicyCA, PolicyRanger} {
-		k, ds := newNativeKernel(pol, false)
+		k, ds := newNativeKernel(p, pol, false)
 		// An aged machine: on a pristine simulator even the default
 		// allocator lays memory out compactly, leaving Ranger nothing
 		// to defragment. Real machines' scrambled free lists are what

@@ -129,7 +129,7 @@ func AllPolicies() []PolicyName {
 // newNativeKernel builds a kernel + daemons for the named policy.
 // The CA configuration also enables the sorted MAX_ORDER list, as the
 // paper's prototype does.
-func newNativeKernel(p PolicyName, numaOff bool) (*osim.Kernel, []workloads.Daemon) {
+func newNativeKernel(pr Params, p PolicyName, numaOff bool) (*osim.Kernel, []workloads.Daemon) {
 	sorted := p == PolicyCA
 	m := newHostMachine(numaOff, sorted)
 	var k *osim.Kernel
@@ -153,6 +153,7 @@ func newNativeKernel(p PolicyName, numaOff bool) (*osim.Kernel, []workloads.Daem
 		panic("experiments: unknown policy " + string(p))
 	}
 	k.BootReserve(bootReserveBlocks)
+	k.SetTracer(pr.Tracer)
 	return k, ds
 }
 
@@ -172,7 +173,7 @@ func placementFor(p PolicyName) osim.Placement {
 
 // newVM builds the standard VM: guest and host kernels with the given
 // policies (the paper applies the same policy in both dimensions).
-func newVM(guest, host PolicyName) (*virt.VM, *osim.Kernel, error) {
+func newVM(pr Params, guest, host PolicyName) (*virt.VM, *osim.Kernel, error) {
 	hk := osim.NewKernel(newHostMachine(false, host == PolicyCA), placementFor(host))
 	hk.BootReserve(bootReserveBlocks)
 	vm, err := virt.New(hk, virt.Config{
@@ -185,6 +186,7 @@ func newVM(guest, host PolicyName) (*virt.VM, *osim.Kernel, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	vm.SetTracer(pr.Tracer)
 	return vm, hk, nil
 }
 
@@ -218,14 +220,19 @@ func settleDaemons(k *osim.Kernel, ds []workloads.Daemon, epochs int) {
 // final contiguity plus the kernel for further inspection. The process
 // is left alive; callers may exit it.
 func runNativeContig(p Params, w workloads.Workload, pol PolicyName) (ContigStats, *osim.Kernel, *workloads.Env, error) {
-	k, ds := newNativeKernel(pol, false)
+	k, ds := newNativeKernel(p, pol, false)
 	env := workloads.NewNativeEnv(k, 0)
 	env.Daemons = ds
 	env.NoRangeFault = p.NoRangeFault
+	tr := p.Tracer
+	start := tr.Start()
 	if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 		return ContigStats{}, nil, nil, fmt.Errorf("%s/%s: %w", w.Name(), pol, err)
 	}
+	tr.EmitPhase(string(pol)+"/"+w.Name()+"/setup", start)
+	start = tr.Start()
 	settleDaemons(k, ds, p.SettleEpochs)
+	tr.EmitPhase(string(pol)+"/"+w.Name()+"/settle", start)
 	ms := metrics.FromPageTable(env.Proc.PT)
 	return contigOf(ms), k, env, nil
 }

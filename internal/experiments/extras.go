@@ -27,7 +27,7 @@ func ExtraReservation(p Params) (*Table, error) {
 		},
 	}
 	run := func(policy osim.Placement, label string) error {
-		k, _ := newNativeKernel(PolicyCA, true /* single zone */)
+		k, _ := newNativeKernel(p, PolicyCA, true /* single zone */)
 		// Replace the policy but keep the CA machine setup. The machine
 		// is fragmented first: under pressure both processes keep
 		// re-placing, and without reservation those re-placements race.
@@ -77,7 +77,7 @@ func ExtraFiveLevel(p Params) (*Table, error) {
 		},
 	}
 	for _, levels := range []int{4, 5} {
-		vm, hostK, err := newVM(PolicyCA, PolicyCA)
+		vm, hostK, err := newVM(p, PolicyCA, PolicyCA)
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +89,7 @@ func ExtraFiveLevel(p Params) (*Table, error) {
 		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: true, NoWalkCache: p.NoWalkCache})
+		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: true, NoWalkCache: p.NoWalkCache, Tracer: p.Tracer})
 		if err != nil {
 			return nil, err
 		}

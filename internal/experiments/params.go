@@ -1,6 +1,10 @@
 package experiments
 
-import "runtime"
+import (
+	"runtime"
+
+	"repro/internal/trace"
+)
 
 // Params carries the run-scale knobs every driver receives. Drivers
 // take their configuration by value instead of reading package globals,
@@ -34,6 +38,14 @@ type Params struct {
 	// (runner.TestRangeFaultToggleMatches pins this); the toggle exists
 	// for regression comparison and debugging.
 	NoRangeFault bool
+	// Tracer, when non-nil, is threaded into every kernel, VM, and sim
+	// run the drivers build, collecting events across the whole
+	// experiment. Tables are byte-identical with or without it (pinned
+	// by TestGoldenTablesWithTracingEnabled) — the tracer observes, it
+	// never steers. Shared across drivers when several run concurrently
+	// (the tracer is mutex-protected; event interleaving follows the
+	// scheduler).
+	Tracer *trace.Tracer
 }
 
 // DefaultParams returns the paper-scale defaults the cmd/reproduce

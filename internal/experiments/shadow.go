@@ -33,7 +33,7 @@ func ExtraShadowFor(p Params, names []string) (*Table, error) {
 		w := workloads.ByName(name)
 		var nested, shadowed sim.Result
 		for i, shadow := range []bool{false, true} {
-			vm, _, err := newVM(PolicyCA, PolicyCA)
+			vm, _, err := newVM(p, PolicyCA, PolicyCA)
 			if err != nil {
 				return nil, err
 			}
@@ -43,7 +43,7 @@ func ExtraShadowFor(p Params, names []string) (*Table, error) {
 				return nil, fmt.Errorf("shadow %s: %w", name, err)
 			}
 			res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen),
-				sim.Config{ShadowPaging: shadow, NoWalkCache: p.NoWalkCache})
+				sim.Config{ShadowPaging: shadow, NoWalkCache: p.NoWalkCache, Tracer: p.Tracer})
 			if err != nil {
 				return nil, err
 			}

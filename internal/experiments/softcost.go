@@ -31,7 +31,7 @@ func Fig11For(p Params, names []string) (*Table, error) {
 		w := workloads.ByName(name)
 		kernelNs := map[PolicyName]uint64{}
 		for _, pol := range policies {
-			k, ds := newNativeKernel(pol, false)
+			k, ds := newNativeKernel(p, pol, false)
 			env := workloads.NewNativeEnv(k, 0)
 			env.Daemons = ds
 			env.NoRangeFault = p.NoRangeFault
@@ -94,7 +94,7 @@ func Table5For(p Params, names []string) (*Table, error) {
 	err := forEach(len(cells), p.jobs(), func(i int) error {
 		pol := policies[i/len(names)]
 		name := names[i%len(names)]
-		k, ds := newNativeKernel(pol, false)
+		k, ds := newNativeKernel(p, pol, false)
 		env := workloads.NewNativeEnv(k, 0)
 		env.Daemons = ds
 		env.NoRangeFault = p.NoRangeFault
@@ -138,7 +138,7 @@ func Table6For(p Params, names []string) (*Table, error) {
 	for _, pol := range []PolicyName{PolicyTHP, PolicyIngens, PolicyCA, PolicyEager} {
 		row := []string{string(pol)}
 		for _, name := range names {
-			k, ds := newNativeKernel(pol, false)
+			k, ds := newNativeKernel(p, pol, false)
 			env := workloads.NewNativeEnv(k, 0)
 			env.Daemons = ds
 			env.NoRangeFault = p.NoRangeFault

@@ -26,7 +26,7 @@ func runTranslation(p Params, name string) (translationRun, error) {
 	run := func(virtual bool, thp bool, policy PolicyName, schemes bool) (sim.Result, error) {
 		var env *workloads.Env
 		if virtual {
-			vm, _, err := newVM(policy, policy)
+			vm, _, err := newVM(p, policy, policy)
 			if err != nil {
 				return sim.Result{}, err
 			}
@@ -34,16 +34,22 @@ func runTranslation(p Params, name string) (translationRun, error) {
 			vm.Host.THPEnabled = thp
 			env = workloads.NewVirtEnv(vm, 0)
 		} else {
-			k, _ := newNativeKernel(policy, false)
+			k, _ := newNativeKernel(p, policy, false)
 			k.THPEnabled = thp
 			env = workloads.NewNativeEnv(k, 0)
 		}
 		env.NoRangeFault = p.NoRangeFault
 		w := workloads.ByName(name)
+		tr := p.Tracer
+		start := tr.Start()
 		if err := w.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return sim.Result{}, fmt.Errorf("%s setup: %w", name, err)
 		}
-		return sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: schemes, NoWalkCache: p.NoWalkCache})
+		tr.EmitPhase(name+"/setup", start)
+		start = tr.Start()
+		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: schemes, NoWalkCache: p.NoWalkCache, Tracer: p.Tracer})
+		tr.EmitPhase(name+"/measure", start)
+		return res, err
 	}
 	// The five configurations are independent simulations (each builds
 	// its own kernel/VM), so they run on the shared worker pool. Each
@@ -156,7 +162,7 @@ func Fig14For(p Params, names []string) (*Table, error) {
 	results := make([]sim.Result, len(names))
 	if err := forEach(len(names), p.jobs(), func(i int) error {
 		name := names[i]
-		vm, _, err := newVM(PolicyCA, PolicyCA)
+		vm, _, err := newVM(p, PolicyCA, PolicyCA)
 		if err != nil {
 			return err
 		}
@@ -166,7 +172,7 @@ func Fig14For(p Params, names []string) (*Table, error) {
 		if err := wl.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return fmt.Errorf("fig14 %s: %w", name, err)
 		}
-		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: true, NoWalkCache: p.NoWalkCache})
+		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: true, NoWalkCache: p.NoWalkCache, Tracer: p.Tracer})
 		if err != nil {
 			return err
 		}
@@ -208,7 +214,7 @@ func Table7For(p Params, names []string) (*Table, error) {
 	ests := make([]perfmodel.USLEstimate, len(names))
 	if err := forEach(len(names), p.jobs(), func(i int) error {
 		name := names[i]
-		vm, _, err := newVM(PolicyCA, PolicyCA)
+		vm, _, err := newVM(p, PolicyCA, PolicyCA)
 		if err != nil {
 			return err
 		}
@@ -218,7 +224,7 @@ func Table7For(p Params, names []string) (*Table, error) {
 		if err := wl.Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return fmt.Errorf("table7 %s: %w", name, err)
 		}
-		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{NoWalkCache: p.NoWalkCache})
+		res, err := sim.Run(env, wl.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{NoWalkCache: p.NoWalkCache, Tracer: p.Tracer})
 		if err != nil {
 			return err
 		}

@@ -32,7 +32,7 @@ func Fig12For(p Params, names []string) (*Table, error) {
 	rows := make([][][]string, len(policies))
 	err := forEach(len(policies), p.jobs(), func(i int) error {
 		pol := policies[i]
-		vm, _, err := newVM(pol, pol)
+		vm, _, err := newVM(p, pol, pol)
 		if err != nil {
 			return err
 		}
@@ -77,7 +77,7 @@ func Table1For(p Params, names []string) (*Table, error) {
 	type counts struct{ ranges, anchors int }
 	results := map[string]map[PolicyName]counts{}
 	for _, pol := range []PolicyName{PolicyTHP, PolicyCA} {
-		vm, _, err := newVM(pol, pol)
+		vm, _, err := newVM(p, pol, pol)
 		if err != nil {
 			return nil, err
 		}

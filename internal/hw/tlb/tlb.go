@@ -7,7 +7,10 @@
 // considers "only the costly L2 STLB misses that trigger page walks".
 package tlb
 
-import "repro/internal/mem/addr"
+import (
+	"repro/internal/mem/addr"
+	"repro/internal/trace"
+)
 
 type entry struct {
 	valid bool
@@ -33,6 +36,10 @@ type TLB struct {
 	// the common case in the pure-4K and THP-saturated configurations.
 	nSmall uint64
 	nHuge  uint64
+	// tr, when non-nil, receives miss and eviction events. One nil
+	// check per miss/insert when tracing is off — Lookup's hit path is
+	// untouched.
+	tr *trace.Tracer
 }
 
 // New creates a TLB with the given total entry count and associativity.
@@ -57,6 +64,9 @@ func New(entries, ways int) *TLB {
 	}
 	return &TLB{entries: make([]entry, nsets*ways), nsets: uint64(nsets), ways: ways}
 }
+
+// SetTracer attaches (or, with nil, detaches) an event tracer.
+func (t *TLB) SetTracer(tr *trace.Tracer) { t.tr = tr }
 
 // Entries returns the effective capacity (sets x ways), which is at
 // least the entry count requested from New.
@@ -104,6 +114,9 @@ func (t *TLB) Lookup(va addr.VirtAddr) bool {
 		return true
 	}
 	t.misses++
+	if t.tr != nil {
+		t.tr.Emit(trace.EvTLBMiss, uint64(va), 0, 0)
+	}
 	return false
 }
 
@@ -140,6 +153,13 @@ func (t *TLB) Insert(va addr.VirtAddr, huge bool) {
 	}
 	if set[victim].valid {
 		t.sizeCount(set[victim].huge, -1)
+		if t.tr != nil {
+			h := uint64(0)
+			if set[victim].huge {
+				h = 1
+			}
+			t.tr.Emit(trace.EvTLBEvict, set[victim].tag, h, 0)
+		}
 	}
 	t.sizeCount(huge, +1)
 	set[victim] = entry{valid: true, huge: huge, tag: tag, lru: t.tick}

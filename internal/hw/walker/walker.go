@@ -6,7 +6,11 @@
 // and the methodology's Table IV model consumes them as AvgC values.
 package walker
 
-import "repro/internal/virt"
+import (
+	"repro/internal/mem/addr"
+	"repro/internal/trace"
+	"repro/internal/virt"
+)
 
 // CyclesPerRef is the effective cost of one page-table reference after
 // MMU caching (paging-structure caches hit the upper levels, so the
@@ -68,6 +72,42 @@ func NativeCost(level int) float64 {
 // from its actual reference count.
 func NestedCost(w virt.NestedWalk) float64 {
 	return float64(w.Refs) * CyclesPerRef
+}
+
+// Meter wraps the cost functions with walk-span emission: every priced
+// walk becomes an EvWalkNative/EvWalk2D span whose duration is the
+// model cycle cost (truncated to integer cycles for the trace; the
+// returned cost keeps full precision). Meter is the single emitter of
+// walk spans — the virt layer contributes the nested-fault instants,
+// but the 2D walk composition is instrumented here, where it is
+// priced. A zero Meter (nil T) prices without tracing.
+type Meter struct {
+	T *trace.Tracer
+}
+
+// Native prices a native walk for va with the given leaf level and
+// emits its span (args: va, level, refs).
+func (m Meter) Native(va addr.VirtAddr, level int) float64 {
+	c := NativeCost(level)
+	if m.T != nil {
+		refs := uint64(refsNative4K)
+		if level == 1 {
+			refs = refsNative2M
+		}
+		m.T.EmitDur(trace.EvWalkNative, uint64(c), uint64(va), uint64(level), refs)
+	}
+	return c
+}
+
+// Nested prices a nested walk and emits its span (args: va, refs,
+// guest/host leaf levels packed guest<<8|host).
+func (m Meter) Nested(va addr.VirtAddr, w virt.NestedWalk) float64 {
+	c := NestedCost(w)
+	if m.T != nil {
+		levels := uint64(w.GuestLevel)<<8 | uint64(w.HostLevel)
+		m.T.EmitDur(trace.EvWalk2D, uint64(c), uint64(va), uint64(w.Refs), levels)
+	}
+	return c
 }
 
 // NestedCostForLevels returns the nested walk cost for given guest and

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/mem/addr"
 	"repro/internal/mem/frame"
+	"repro/internal/trace"
 )
 
 // ErrNoMemory is returned when no free block can satisfy a request.
@@ -74,6 +75,12 @@ type Buddy struct {
 
 	sorted bool
 	hooks  Hooks
+
+	// tr, when non-nil, receives split/coalesce events tagged with zid
+	// (the owning zone's ID). Disabled tracing costs one nil check per
+	// split/merge step.
+	tr  *trace.Tracer
+	zid uint64
 }
 
 // New creates a buddy allocator over [base, base+npages). base must be
@@ -106,6 +113,13 @@ func New(frames *frame.Table, base addr.PFN, npages uint64) *Buddy {
 		b.freePages += addr.MaxOrderPages
 	}
 	return b
+}
+
+// SetTracer attaches (or, with nil, detaches) an event tracer; zoneID
+// tags this allocator's events when several zones share one tracer.
+func (b *Buddy) SetTracer(t *trace.Tracer, zoneID int) {
+	b.tr = t
+	b.zid = uint64(zoneID)
 }
 
 // SetHooks installs MAX_ORDER list observers. Must be called before any
@@ -263,6 +277,9 @@ func (b *Buddy) AllocBlock(order int) (addr.PFN, error) {
 	for o := from; o > order; o-- {
 		upper := pfn + addr.PFN(addr.OrderPages(o-1))
 		b.listInsert(upper, o-1)
+		if b.tr != nil {
+			b.tr.Emit(trace.EvBuddySplit, b.zid, uint64(pfn), uint64(o))
+		}
 	}
 	b.markAllocated(pfn, order)
 	return pfn, nil
@@ -292,6 +309,9 @@ func (b *Buddy) AllocBlockAt(pfn addr.PFN, order int) error {
 	for o := bo; o > order; o-- {
 		half := addr.PFN(addr.OrderPages(o - 1))
 		lower, upper := head, head+half
+		if b.tr != nil {
+			b.tr.Emit(trace.EvBuddySplit, b.zid, uint64(head), uint64(o))
+		}
 		if pfn >= upper {
 			b.listInsert(lower, o-1)
 			head = upper
@@ -340,6 +360,9 @@ func (b *Buddy) FreeBlock(pfn addr.PFN, order int) {
 		b.listRemove(bud, order)
 		pfn = addr.ParentOf(pfn, order)
 		order++
+		if b.tr != nil {
+			b.tr.Emit(trace.EvBuddyCoalesce, b.zid, uint64(pfn), uint64(order))
+		}
 	}
 	b.listInsert(pfn, order)
 }
@@ -410,6 +433,22 @@ func (b *Buddy) VisitFreeBlocks(fn func(pfn addr.PFN, order int)) {
 			fn(b.pfnAt(i), o)
 		}
 	}
+}
+
+// FragScore summarises external fragmentation in permille: the share
+// of free memory NOT sitting in huge-page-or-larger free blocks. 0
+// means every free page is promotable contiguity; 1000 means the free
+// pool is pure sub-2MiB confetti. Zero when no memory is free (there
+// is nothing to fragment).
+func (b *Buddy) FragScore() uint64 {
+	if b.freePages == 0 {
+		return 0
+	}
+	var huge uint64
+	for o := addr.HugeOrder; o <= addr.MaxOrder; o++ {
+		huge += b.perOrderCount[o] * addr.OrderPages(o)
+	}
+	return 1000 - huge*1000/b.freePages
 }
 
 // LargestAlignedFree returns the order of the largest free block

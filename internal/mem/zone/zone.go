@@ -12,6 +12,7 @@ import (
 	"repro/internal/mem/buddy"
 	"repro/internal/mem/contigmap"
 	"repro/internal/mem/frame"
+	"repro/internal/trace"
 )
 
 // Zone is one NUMA node's memory: a PFN range, its buddy allocator, and
@@ -38,6 +39,14 @@ func (z *Zone) FreePages() uint64 { return z.Buddy.FreePages() }
 type Machine struct {
 	Frames *frame.Table
 	Zones  []*Zone
+
+	// Tracing state: the machine owns the per-zone free-list depth and
+	// fragmentation gauges so TraceDepths can snapshot them in one call
+	// from the machine's own driver thread (tracers are shared across
+	// threads; machines are not).
+	tr         *trace.Tracer
+	depthGauge [][]int
+	fragGauge  []int
 }
 
 // Config describes machine geometry.
@@ -80,6 +89,54 @@ func NewMachine(cfg Config) *Machine {
 		base += addr.PFN(n)
 	}
 	return m
+}
+
+// SetTracer attaches (or, with nil, detaches) an event tracer to the
+// machine and every zone's buddy allocator, and registers the per-zone
+// free-list depth and fragmentation gauges ("buddy.z<id>.o<order>",
+// "buddy.z<id>.frag"). When several machines share one tracer the
+// gauge names collide by design: the last machine sampled wins, while
+// the per-event streams (EvBuddyDepth/EvBuddyFrag carry the zone ID)
+// stay distinct.
+func (m *Machine) SetTracer(t *trace.Tracer) {
+	m.tr = t
+	for _, z := range m.Zones {
+		z.Buddy.SetTracer(t, z.ID)
+	}
+	if t == nil {
+		m.depthGauge, m.fragGauge = nil, nil
+		return
+	}
+	m.depthGauge = make([][]int, len(m.Zones))
+	m.fragGauge = make([]int, len(m.Zones))
+	for i, z := range m.Zones {
+		m.depthGauge[i] = make([]int, addr.MaxOrder+1)
+		for o := 0; o <= addr.MaxOrder; o++ {
+			m.depthGauge[i][o] = t.Gauge(fmt.Sprintf("buddy.z%d.o%d", z.ID, o))
+		}
+		m.fragGauge[i] = t.Gauge(fmt.Sprintf("buddy.z%d.frag", z.ID))
+	}
+}
+
+// TraceDepths emits one free-list depth event per (zone, order) plus a
+// fragmentation-score event per zone, and refreshes the matching
+// gauges. No-op without a tracer. Callers own the cadence — the
+// daemons call it per epoch, sim.Run per access batch — and must be
+// the thread driving this machine.
+func (m *Machine) TraceDepths() {
+	if m.tr == nil {
+		return
+	}
+	for i, z := range m.Zones {
+		for o := 0; o <= addr.MaxOrder; o++ {
+			n := z.Buddy.FreeBlocks(o)
+			m.tr.Emit(trace.EvBuddyDepth, uint64(z.ID), uint64(o), n)
+			m.tr.SetGauge(m.depthGauge[i][o], n)
+		}
+		fs := z.Buddy.FragScore()
+		m.tr.Emit(trace.EvBuddyFrag, uint64(z.ID), fs, 0)
+		m.tr.SetGauge(m.fragGauge[i], fs)
+	}
 }
 
 // TotalPages returns the machine's total page count.

@@ -3,6 +3,7 @@ package osim
 import (
 	"repro/internal/mem/addr"
 	"repro/internal/osim/vma"
+	"repro/internal/trace"
 )
 
 // CAPolicy is the paper's contiguity-aware paging (§III): demand paging
@@ -55,6 +56,9 @@ func (c CAPolicy) PlaceAnon(k *Kernel, p *Process, v *vma.VMA, va addr.VirtAddr,
 	if have {
 		if pfn, ok := caTryTarget(k, off, va, order); ok {
 			k.Stats.CATargetHits++
+			if k.Tracer != nil {
+				k.Tracer.Emit(trace.EvCATargetHit, uint64(va), uint64(pfn), uint64(order))
+			}
 			return pfn, placed, nil
 		}
 		// Target unavailable: the free block ran out or another
@@ -72,6 +76,9 @@ func (c CAPolicy) PlaceAnon(k *Kernel, p *Process, v *vma.VMA, va addr.VirtAddr,
 			if off, ok := v.NearestOffset(va); ok {
 				if pfn, ok := caTryTarget(k, off, va, order); ok {
 					k.Stats.CATargetHits++
+					if k.Tracer != nil {
+						k.Tracer.Emit(trace.EvCATargetHit, uint64(va), uint64(pfn), uint64(order))
+					}
 					return pfn, placed, nil
 				}
 			}
@@ -79,6 +86,9 @@ func (c CAPolicy) PlaceAnon(k *Kernel, p *Process, v *vma.VMA, va addr.VirtAddr,
 		// 4 KiB fallback (or huge re-placement also missed): default
 		// allocation, no Offset tracking.
 		k.Stats.CAFallbacks++
+		if k.Tracer != nil {
+			k.Tracer.Emit(trace.EvCAFallback, uint64(va), uint64(order), 0)
+		}
 	}
 	pfn, err := k.Machine.AllocBlock(p.HomeZone, order)
 	if err != nil {
@@ -125,7 +135,11 @@ func (c CAPolicy) caPlace(k *Kernel, p *Process, v *vma.VMA, va addr.VirtAddr, s
 			}
 			c.Reservation.reserve(v, start, claim)
 		}
-		v.TrackOffset(va, addr.OffsetOf(va, start.Addr()))
+		off := addr.OffsetOf(va, start.Addr())
+		v.TrackOffset(va, off)
+		if k.Tracer != nil {
+			k.Tracer.Emit(trace.EvCAPlace, uint64(va), uint64(off), sizePages)
+		}
 		return
 	}
 }
@@ -143,10 +157,16 @@ func (CAPolicy) PlaceFile(k *Kernel, f *File, pageIdx uint64, order int) (addr.P
 			f.offset = addr.OffsetOf(key, start.Addr())
 			f.placedOffset = true
 			placed = true
+			if k.Tracer != nil {
+				k.Tracer.Emit(trace.EvCAPlace, uint64(key), uint64(f.offset), remaining)
+			}
 		}
 	}
 	if f.placedOffset {
 		if pfn, ok := caTryTarget(k, f.offset, key, order); ok {
+			if k.Tracer != nil {
+				k.Tracer.Emit(trace.EvCATargetHit, uint64(key), uint64(pfn), uint64(order))
+			}
 			return pfn, placed, nil
 		}
 		// Re-place once keyed by the remaining uncached pages.

@@ -24,6 +24,7 @@ import (
 	"repro/internal/osim"
 	"repro/internal/osim/pagetable"
 	"repro/internal/osim/vma"
+	"repro/internal/trace"
 )
 
 // Ingens is the asynchronous huge-page promotion daemon.
@@ -62,7 +63,15 @@ func (d *Ingens) MaybeN(n uint64) {
 			return
 		}
 		d.lastRun = d.Kernel.Clock
+		tr := d.Kernel.Tracer
+		start := tr.Start()
+		before := d.Kernel.Stats.Promotions
 		d.Scan()
+		if tr != nil {
+			tr.EmitSpan(trace.EvIngensEpoch, start, d.Kernel.Stats.Promotions-before, 0, d.Kernel.Clock)
+			d.Kernel.Machine.TraceDepths()
+			tr.Sample()
+		}
 	}
 }
 
@@ -131,6 +140,9 @@ func (d *Ingens) promote(p *osim.Process, v *vma.VMA, base addr.VirtAddr) {
 	k.Stats.Migrations += 512
 	k.Stats.Shootdowns++
 	k.Tick(512*osim.CopyPageNs + osim.ShootdownNs)
+	if k.Tracer != nil {
+		k.Tracer.Emit(trace.EvPromote, uint64(base), uint64(dst), k.Clock)
+	}
 }
 
 // Ranger is the Translation Ranger defragmentation daemon.
@@ -178,7 +190,15 @@ func (d *Ranger) MaybeN(n uint64) {
 			return
 		}
 		d.lastRun = d.Kernel.Clock
+		tr := d.Kernel.Tracer
+		start := tr.Start()
+		before := d.Kernel.Stats.Migrations
 		d.Epoch()
+		if tr != nil {
+			tr.EmitSpan(trace.EvRangerEpoch, start, d.Kernel.Stats.Migrations-before, 0, d.Kernel.Clock)
+			d.Kernel.Machine.TraceDepths()
+			tr.Sample()
+		}
 	}
 }
 

@@ -51,7 +51,7 @@ func (e EagerPolicy) OnMMap(k *Kernel, p *Process, v *vma.VMA) error {
 	}
 	// One eager "fault" event per mmap: entry cost plus zeroing the
 	// whole pre-allocated footprint.
-	k.recordFault(FaultEager, FaultBaseNs+totalZeroed*ZeroPageNs)
+	k.recordFault(FaultEager, v.Start, FaultBaseNs+totalZeroed*ZeroPageNs)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"repro/internal/mem/addr"
 	"repro/internal/osim/pagetable"
 	"repro/internal/osim/vma"
+	"repro/internal/trace"
 )
 
 // Touch simulates an access to va, faulting in memory on demand. It is
@@ -130,12 +131,12 @@ func (k *Kernel) anonFault(p *Process, v *vma.VMA, va addr.VirtAddr, order int, 
 	flags := pagetable.Flags(pagetable.Writable)
 	if order == addr.HugeOrder {
 		p.PT.Map2M(va, pfn, flags)
-		k.recordFault(FaultHuge, k.faultLatency(order, placed))
+		k.recordFault(FaultHuge, va, k.faultLatency(order, placed))
 		v.MappedPages += 512
 		p.RSSPages += 512
 	} else {
 		p.PT.Map4K(va, pfn, flags)
-		k.recordFault(Fault4K, k.faultLatency(order, placed))
+		k.recordFault(Fault4K, va, k.faultLatency(order, placed))
 		v.MappedPages++
 		p.RSSPages++
 	}
@@ -174,7 +175,7 @@ func (k *Kernel) cowFault(p *Process, v *vma.VMA, va addr.VirtAddr) error {
 	if shared.MapCount == 1 {
 		// Last reference: just take ownership.
 		pte.Flags = (pte.Flags &^ pagetable.CoW) | pagetable.Writable | pagetable.Dirty
-		k.recordFault(FaultCoW, FaultBaseNs)
+		k.recordFault(FaultCoW, va, FaultBaseNs)
 		return nil
 	}
 	newPFN, placed, err := k.Policy.PlaceAnon(k, p, v, base, order)
@@ -191,7 +192,7 @@ func (k *Kernel) cowFault(p *Process, v *vma.VMA, va addr.VirtAddr) error {
 	shared.MapCount--
 	k.Machine.Frames.Get(newPFN).MapCount++
 	lat := k.faultLatency(order, placed) + addr.OrderPages(order)*CopyPageNs
-	k.recordFault(FaultCoW, lat)
+	k.recordFault(FaultCoW, base, lat)
 	if k.Policy.MarksContiguity() {
 		k.markContiguity(p.PT, base, newPFN, order)
 	}
@@ -314,5 +315,8 @@ func (k *Kernel) MigratePage(p *Process, va addr.VirtAddr, dst addr.PFN) bool {
 	k.Stats.Migrations += pages
 	k.Stats.Shootdowns++
 	k.Tick(pages*CopyPageNs + ShootdownNs)
+	if k.Tracer != nil {
+		k.Tracer.Emit(trace.EvMigrate, uint64(va), uint64(dst), pages)
+	}
 	return true
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/mem/zone"
 	"repro/internal/osim/pagetable"
 	"repro/internal/osim/vma"
+	"repro/internal/trace"
 )
 
 // Latency model constants (nanoseconds of logical time). The shape
@@ -156,6 +157,11 @@ type Kernel struct {
 	// ablation); 0 keeps vma.MaxOffsets.
 	OffsetBudget int
 
+	// Tracer, when non-nil, receives fault, placement, promotion, and
+	// migration events. Attach via SetTracer so the machine layers are
+	// wired consistently. Nil tracing costs one branch per fault.
+	Tracer *trace.Tracer
+
 	// eagerRotor scatters consecutive above-MAX_ORDER eager block
 	// selections (see eagerLargestAligned). Per kernel, not global:
 	// concurrent kernels must not perturb each other's selections.
@@ -180,6 +186,13 @@ func NewKernel(m *zone.Machine, p Placement) *Kernel {
 
 // Tick advances the logical clock by ns.
 func (k *Kernel) Tick(ns uint64) { k.Clock += ns }
+
+// SetTracer attaches (or, with nil, detaches) an event tracer to the
+// kernel and its machine (buddy allocators, depth gauges).
+func (k *Kernel) SetTracer(t *trace.Tracer) {
+	k.Tracer = t
+	k.Machine.SetTracer(t)
+}
 
 // BootReserve pins the first blocks MAX_ORDER blocks of every zone,
 // modelling the kernel image, memmap, and firmware reservations that
@@ -295,11 +308,23 @@ func (p *Process) Exit() {
 	}
 }
 
-// recordFault charges a fault of the given kind and latency.
-func (k *Kernel) recordFault(kind FaultKind, latNs uint64) {
+// faultEvent maps fault kinds to their trace event kinds.
+var faultEvent = [numFaultKinds]trace.Kind{
+	Fault4K:    trace.EvFault4K,
+	FaultHuge:  trace.EvFaultHuge,
+	FaultCoW:   trace.EvFaultCoW,
+	FaultFile:  trace.EvFaultFile,
+	FaultEager: trace.EvFaultEager,
+}
+
+// recordFault charges a fault of the given kind and latency at va.
+func (k *Kernel) recordFault(kind FaultKind, va addr.VirtAddr, latNs uint64) {
 	k.Stats.Faults[kind]++
 	k.Stats.FaultLatencies = append(k.Stats.FaultLatencies, latNs)
 	k.Tick(latNs)
+	if k.Tracer != nil {
+		k.Tracer.Emit(faultEvent[kind], uint64(va), latNs, k.Clock)
+	}
 }
 
 // mapRange installs translations for a physically contiguous run

@@ -235,6 +235,6 @@ func (k *Kernel) fileFault(p *Process, v *vma.VMA, va addr.VirtAddr) error {
 	k.Machine.Frames.Get(pfn).MapCount++
 	v.MappedPages++
 	p.RSSPages++
-	k.recordFault(FaultFile, FaultBaseNs)
+	k.recordFault(FaultFile, base, FaultBaseNs)
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mem/addr"
 	"repro/internal/osim"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -82,24 +83,51 @@ func TestWalkCacheInvalidation(t *testing.T) {
 
 // TestRunZeroAllocs pins the zero-allocation property of the
 // steady-state access loop, schemes included: once the machine is warm,
-// step must not touch the heap.
+// step must not touch the heap. The tracing layer must preserve it in
+// both disabled states — never attached, and attached then detached —
+// so instrumentation really is branch-only when off.
 func TestRunZeroAllocs(t *testing.T) {
-	env := virtEnv(t, osim.CAPolicy{}, osim.CAPolicy{})
-	w := workloads.NewPageRank()
-	if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
-		t.Fatal(err)
-	}
-	accs := benchAccesses(t, w, 1<<14)
-	m := warmMachine(t, env, Config{EnableSchemes: true}, accs)
-	i := 0
-	avg := testing.AllocsPerRun(len(accs), func() {
-		if err := m.step(accs[i%len(accs)]); err != nil {
-			t.Fatal(err)
-		}
-		i++
-	})
-	if avg != 0 {
-		t.Fatalf("steady-state step allocates %.2f objects per access, want 0", avg)
+	for _, tc := range []struct {
+		name   string
+		detach bool
+	}{
+		{"nil tracer", false},
+		{"attached then detached", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			env := virtEnv(t, osim.CAPolicy{}, osim.CAPolicy{})
+			w := workloads.NewPageRank()
+			if err := w.Setup(env, rand.New(rand.NewSource(1))); err != nil {
+				t.Fatal(err)
+			}
+			accs := benchAccesses(t, w, 1<<14)
+			m := warmMachine(t, env, Config{EnableSchemes: true}, accs)
+			if tc.detach {
+				tr := trace.New()
+				env.SetTracer(tr)
+				m.setTracer(tr)
+				for j := 0; j < 64; j++ {
+					if err := m.step(accs[j]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if tr.TotalEvents() == 0 {
+					t.Fatal("attached tracer saw nothing; detach case would be vacuous")
+				}
+				env.SetTracer(nil)
+				m.setTracer(nil)
+			}
+			i := 0
+			avg := testing.AllocsPerRun(len(accs), func() {
+				if err := m.step(accs[i%len(accs)]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state step allocates %.2f objects per access, want 0", avg)
+			}
+		})
 	}
 }
 

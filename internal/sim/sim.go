@@ -19,6 +19,7 @@ import (
 	"repro/internal/mem/addr"
 	"repro/internal/metrics"
 	"repro/internal/osim/pagetable"
+	"repro/internal/trace"
 	"repro/internal/virt"
 	"repro/internal/workloads"
 )
@@ -55,6 +56,13 @@ type Config struct {
 	// generation changes — so the toggle exists only for regression
 	// comparison and microbenchmarks.
 	NoWalkCache bool
+	// Tracer, when non-nil, receives per-batch spans, walk spans, TLB
+	// miss/evict events, and SpOT predict/mispredict events from the
+	// run. Nil keeps the access loop branch-only (zero allocations).
+	// Note the walk cache memoizes walk *costs* too: a hot walk-cache
+	// probe emits no walk span, so walk spans undercount misses unless
+	// NoWalkCache is set.
+	Tracer *trace.Tracer
 }
 
 // Defaults fills zero fields.
@@ -140,11 +148,14 @@ type machine struct {
 	rtab   *rmm.Table
 	seg    *ds.Segment
 	res    Result
+	tr     *trace.Tracer
+	wm     walker.Meter
 }
 
 // newMachine builds the per-run hardware state.
 func newMachine(env *workloads.Env, cfg Config) *machine {
 	m := &machine{env: env, cfg: cfg, tlb: tlb.New(cfg.TLBEntries, cfg.TLBWays)}
+	m.setTracer(cfg.Tracer)
 	if !cfg.NoWalkCache {
 		if env.VM != nil {
 			m.wc = newWalkCache(env.VM.NestedTables(env.Proc))
@@ -166,6 +177,16 @@ func newMachine(env *workloads.Env, cfg Config) *machine {
 	return m
 }
 
+// setTracer attaches (or, with nil, detaches) the tracer from every
+// hardware component of this machine. The attached-then-detached case
+// of TestRunZeroAllocs drives this to prove detaching restores the
+// branch-only hot path.
+func (m *machine) setTracer(t *trace.Tracer) {
+	m.tr = t
+	m.wm.T = t
+	m.tlb.SetTracer(t)
+}
+
 // Run drives n accesses of the workload stream through the machinery.
 // The environment must already be set up (populated) by the workload.
 func Run(env *workloads.Env, stream workloads.Stream, cfg Config) (Result, error) {
@@ -177,10 +198,15 @@ func Run(env *workloads.Env, stream workloads.Stream, cfg Config) (Result, error
 		if n == 0 {
 			break
 		}
+		start := m.tr.Start()
 		for i := range buf[:n] {
 			if err := m.step(buf[i]); err != nil {
 				return m.res, err
 			}
+		}
+		if m.tr != nil {
+			m.tr.EmitSpan(trace.EvSimBatch, start, uint64(n), m.res.Misses, m.res.Faults)
+			env.TraceSample()
 		}
 	}
 	return m.finish(), nil
@@ -253,8 +279,14 @@ func (m *machine) step(a workloads.Access) error {
 	switch m.sp.Verify(a.PC, a.VA, hpa, pred, did, gContig && hContig) {
 	case spot.Correct:
 		m.res.SpotCorrect++
+		if m.tr != nil {
+			m.tr.Emit(trace.EvSpotPredict, a.PC, uint64(a.VA), 0)
+		}
 	case spot.Mispredict:
 		m.res.SpotMispredict++
+		if m.tr != nil {
+			m.tr.Emit(trace.EvSpotMispredict, a.PC, uint64(a.VA), 0)
+		}
 	default:
 		m.res.SpotNoPred++
 	}
@@ -276,13 +308,13 @@ func (m *machine) step(a workloads.Access) error {
 // full trie descent of resolve.
 func (m *machine) translate(va addr.VirtAddr) (hpa addr.PhysAddr, leafHuge bool, cost float64, gContig, hContig, ok bool) {
 	if m.wc == nil {
-		return resolve(m.env, va)
+		return m.resolve(va)
 	}
 	vpn := uint64(va) >> addr.PageShift
 	if e, hit := m.wc.probe(vpn); hit {
 		return e.hpa + addr.PhysAddr(uint64(va)&addr.PageMask), e.leafHuge, e.cost, e.gContig, e.hContig, true
 	}
-	hpa, leafHuge, cost, gContig, hContig, ok = resolve(m.env, va)
+	hpa, leafHuge, cost, gContig, hContig, ok = m.resolve(va)
 	if ok {
 		// The in-page offset of hpa equals va's: caching the page-base
 		// hPA makes the entry valid for every offset within the VPN.
@@ -295,15 +327,17 @@ func (m *machine) translate(va addr.VirtAddr) (hpa addr.PhysAddr, leafHuge bool,
 // VM, a native walk otherwise. It returns the final physical address,
 // whether the effective TLB entry is huge (both dimensions huge in a
 // VM), the walk cost in cycles, and the contiguity bits (the native
-// case reports the single PTE bit in both positions).
-func resolve(env *workloads.Env, va addr.VirtAddr) (hpa addr.PhysAddr, leafHuge bool, cost float64, gContig, hContig, ok bool) {
+// case reports the single PTE bit in both positions). Costs route
+// through the walk meter so every priced walk becomes a trace span.
+func (m *machine) resolve(va addr.VirtAddr) (hpa addr.PhysAddr, leafHuge bool, cost float64, gContig, hContig, ok bool) {
+	env := m.env
 	if env.VM != nil {
 		w := env.VM.Walk(env.Proc, va)
 		if !w.OK {
 			return 0, false, 0, false, false, false
 		}
 		huge := w.GuestLevel == pagetable.HugeLevel && w.HostLevel == pagetable.HugeLevel
-		return w.HPA, huge, walker.NestedCost(w), w.GuestContig, w.HostContig, true
+		return w.HPA, huge, m.wm.Nested(va, w), w.GuestContig, w.HostContig, true
 	}
 	pte, level, _, okWalk := env.Proc.PT.Walk(va)
 	if !okWalk {
@@ -315,7 +349,7 @@ func resolve(env *workloads.Env, va addr.VirtAddr) (hpa addr.PhysAddr, leafHuge 
 	}
 	pa := pte.PFN.Addr() + addr.PhysAddr(uint64(va)&(span-1))
 	contig := pte.Flags.Has(pagetable.Contig)
-	return pa, level == pagetable.HugeLevel, walker.NativeCost(level), contig, contig, true
+	return pa, level == pagetable.HugeLevel, m.wm.Native(va, level), contig, contig, true
 }
 
 // extractMappings pulls the current contiguous mappings of the

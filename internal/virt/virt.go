@@ -30,6 +30,7 @@ import (
 	"repro/internal/osim"
 	"repro/internal/osim/pagetable"
 	"repro/internal/osim/vma"
+	"repro/internal/trace"
 )
 
 // VM is one virtual machine: a guest kernel plus its host backing.
@@ -44,6 +45,16 @@ type VM struct {
 	baseVA   addr.VirtAddr // host VA of guest physical address 0
 	hostVMA  *vma.VMA      // the single backing VMA spanning guest memory
 	memPages uint64
+	tr       *trace.Tracer
+}
+
+// SetTracer attaches (or, with nil, detaches) an event tracer to the
+// whole VM: the guest kernel, the host kernel backing it, and the
+// VM's own nested-fault instrumentation all report to the same tracer.
+func (vm *VM) SetTracer(t *trace.Tracer) {
+	vm.tr = t
+	vm.Guest.SetTracer(t)
+	vm.Host.SetTracer(t)
 }
 
 // Config describes a VM.
@@ -151,6 +162,9 @@ func (vm *VM) TouchAt(p *osim.Process, v *vma.VMA, gva addr.VirtAddr, write bool
 	hf, err := vm.HostProc.TouchAt(vm.hostVMA, vm.HostVAOf(gpa), write)
 	if err != nil {
 		return false, fmt.Errorf("virt: nested fault: %w", err)
+	}
+	if hf && vm.tr != nil {
+		vm.tr.Emit(trace.EvNestedFault, uint64(gva), uint64(gpa), 0)
 	}
 	return gf || hf, nil
 }

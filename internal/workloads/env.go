@@ -24,6 +24,7 @@ import (
 	"repro/internal/mem/addr"
 	"repro/internal/osim"
 	"repro/internal/osim/vma"
+	"repro/internal/trace"
 	"repro/internal/virt"
 )
 
@@ -84,6 +85,30 @@ func NewNativeEnv(k *osim.Kernel, homeZone int) *Env {
 // NewVirtEnv creates a guest process inside the VM.
 func NewVirtEnv(vm *virt.VM, homeZone int) *Env {
 	return &Env{Kernel: vm.Guest, Proc: vm.NewGuestProcess(homeZone), VM: vm}
+}
+
+// SetTracer attaches (or, with nil, detaches) an event tracer to the
+// environment's whole software stack: the VM (guest and host kernels)
+// when virtualized, the native kernel otherwise.
+func (e *Env) SetTracer(t *trace.Tracer) {
+	if e.VM != nil {
+		e.VM.SetTracer(t)
+		return
+	}
+	e.Kernel.SetTracer(t)
+}
+
+// TraceSample emits the buddy free-list depth events of every attached
+// machine and snapshots a counter row. No-op when no tracer is wired;
+// sim.Run calls it once per access batch.
+func (e *Env) TraceSample() {
+	e.Kernel.Machine.TraceDepths()
+	if e.VM != nil {
+		e.VM.Host.Machine.TraceDepths()
+		e.VM.Host.Tracer.Sample()
+		return
+	}
+	e.Kernel.Tracer.Sample()
 }
 
 // Touch accesses va, faulting in one or both dimensions as needed, and
