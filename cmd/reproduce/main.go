@@ -26,6 +26,12 @@
 // (load it at ui.perfetto.dev or summarize with cmd/tracestat), and
 // -counters writes the counter time series as CSV. Tables are
 // byte-identical with tracing on or off.
+//
+// Beyond the paper's own figures, the registry carries the
+// fragmentation-aging experiments (DESIGN.md §10): figAging ages every
+// policy across two tenant-churn horizons and figAgingTraj records the
+// full per-snapshot trajectories; cmd/agingsim runs a single campaign
+// with finer control.
 package main
 
 import (

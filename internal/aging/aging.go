@@ -1,0 +1,392 @@
+// Package aging runs long logical-time fragmentation-aging campaigns:
+// tenants arrive with Zipf-skewed footprints, touch their memory, and
+// exit, while page-cache fill/evict pressure and periodic daemon
+// epochs churn the physical free pool. A campaign records how external
+// fragmentation evolves — FragScore-style permille plus Gorman's
+// unusable free space index per order — as a deterministic trajectory
+// of snapshots, and periodically cross-checks the whole machine with
+// internal/check audits.
+//
+// The harness exists because the steady-state experiment drivers never
+// exercise the full process lifecycle: the Ranger plan leak and the
+// Ingens fork/promote CoW clobber (see the churn regression tests in
+// internal/osim/daemon) both only manifest once tenants exit and fork
+// under a long-running daemon. Campaigns are deterministic per seed:
+// the same Config produces a byte-identical trajectory CSV at any
+// parallelism.
+package aging
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/check"
+	"repro/internal/mem/addr"
+	"repro/internal/metrics"
+	"repro/internal/osim"
+	"repro/internal/osim/vma"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Config parameterises one aging campaign. Zero values select the
+// defaults noted on each field.
+type Config struct {
+	// Seed drives every random decision of the campaign.
+	Seed int64
+	// Steps is the churn-step horizon (default 200).
+	Steps int
+	// SnapshotEvery records a trajectory snapshot every N steps
+	// (default 10).
+	SnapshotEvery int
+	// AuditEvery runs a whole-machine check.Audit every N snapshots
+	// (default 4; 0 keeps the default — use -1 to disable mid-run
+	// audits). A final audit always runs at campaign end.
+	AuditEvery int
+	// MaxTenants caps the concurrently live tenant population
+	// (default 8).
+	MaxTenants int
+	// MinFootprintPages / MaxFootprintPages bound tenant footprints;
+	// draws are Min + Zipf(Max-Min), skewing small (defaults 256 and
+	// 16384 pages: 1 MiB to 64 MiB).
+	MinFootprintPages uint64
+	MaxFootprintPages uint64
+	// ZipfS is the Zipf skew exponent (must be > 1; default 1.4).
+	ZipfS float64
+	// FilePages sizes each dataset file read through the page cache
+	// (default 2048 pages = 8 MiB).
+	FilePages uint64
+	// CacheChurnEvery reads a fresh file every N steps (default 7;
+	// -1 disables cache churn).
+	CacheChurnEvery int
+	// ReclaimFreeFrac is the free-memory floor handed to the page
+	// cache's ReclaimUnder after cache churn (default 0.1).
+	ReclaimFreeFrac float64
+	// SettleEpochs is the number of daemon epochs ticked after every
+	// churn step (default 2).
+	SettleEpochs int
+	// NoRangeFault forwards to Env.NoRangeFault (per-page population).
+	NoRangeFault bool
+	// Pinned are frame extents the audits must treat as intentionally
+	// allocated outside any process (boot reservations).
+	Pinned []check.Extent
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Steps == 0 {
+		c.Steps = 200
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 10
+	}
+	if c.AuditEvery == 0 {
+		c.AuditEvery = 4
+	}
+	if c.MaxTenants == 0 {
+		c.MaxTenants = 8
+	}
+	if c.MinFootprintPages == 0 {
+		c.MinFootprintPages = 256
+	}
+	if c.MaxFootprintPages == 0 {
+		c.MaxFootprintPages = 16384
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.4
+	}
+	if c.FilePages == 0 {
+		c.FilePages = 2048
+	}
+	if c.CacheChurnEvery == 0 {
+		c.CacheChurnEvery = 7
+	}
+	if c.ReclaimFreeFrac == 0 {
+		c.ReclaimFreeFrac = 0.1
+	}
+	if c.SettleEpochs == 0 {
+		c.SettleEpochs = 2
+	}
+	return c
+}
+
+// Snapshot is one point of a campaign trajectory.
+type Snapshot struct {
+	Step         int     // churn step the snapshot was taken after
+	ClockNs      uint64  // kernel logical clock
+	Tenants      int     // live tenant count
+	RSSPages     uint64  // summed process RSS
+	CachePages   uint64  // resident page-cache frames
+	FreePages    uint64  // machine-wide free frames
+	FragPermille uint64  // permille of free memory below huge blocks
+	UFI2M        float64 // Gorman unusable free index at HugeOrder
+	UFIMax       float64 // Gorman unusable free index at MaxOrder
+	Faults       uint64  // cumulative fault count
+}
+
+// Trajectory is a campaign's recorded snapshot series.
+type Trajectory struct {
+	Policy    string
+	Snapshots []Snapshot
+}
+
+// WriteCSV renders the trajectory as a stable CSV table.
+func (tr *Trajectory) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"step,clock_ns,tenants,rss_pages,cache_pages,free_pages,frag_permille,ufi_2m,ufi_max,faults\n"); err != nil {
+		return err
+	}
+	for _, s := range tr.Snapshots {
+		line := fmt.Sprintf("%d,%d,%d,%d,%d,%d,%d,%s,%s,%d\n",
+			s.Step, s.ClockNs, s.Tenants, s.RSSPages, s.CachePages,
+			s.FreePages, s.FragPermille,
+			strconv.FormatFloat(s.UFI2M, 'f', 4, 64),
+			strconv.FormatFloat(s.UFIMax, 'f', 4, 64),
+			s.Faults)
+		if _, err := io.WriteString(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Final returns the last snapshot (zero value when none recorded).
+func (tr *Trajectory) Final() Snapshot {
+	if len(tr.Snapshots) == 0 {
+		return Snapshot{}
+	}
+	return tr.Snapshots[len(tr.Snapshots)-1]
+}
+
+// PeakRSS returns the largest RSS seen across the trajectory.
+func (tr *Trajectory) PeakRSS() uint64 {
+	var peak uint64
+	for _, s := range tr.Snapshots {
+		if s.RSSPages > peak {
+			peak = s.RSSPages
+		}
+	}
+	return peak
+}
+
+// tenant is one live simulated process with its populated footprint.
+type tenant struct {
+	env   *workloads.Env
+	vma   *vma.VMA
+	pages uint64 // footprint in base pages
+}
+
+// Campaign drives one aging run over a kernel and its daemons.
+type Campaign struct {
+	k    *osim.Kernel
+	ds   []workloads.Daemon
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	tenants  []*tenant
+	arrivals int // total tenants ever admitted (round-robins zones)
+
+	gaugeIDs struct {
+		tenants, rss, cache, free, frag, ufi2m int
+	}
+}
+
+// New builds a campaign over an existing kernel and daemon set. The
+// kernel's policy and daemons define the anti-fragmentation regime
+// under test; the campaign only churns tenants and the page cache.
+func New(k *osim.Kernel, ds []workloads.Daemon, cfg Config) *Campaign {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	span := cfg.MaxFootprintPages - cfg.MinFootprintPages
+	c := &Campaign{
+		k:    k,
+		ds:   ds,
+		cfg:  cfg,
+		rng:  rng,
+		zipf: rand.NewZipf(rng, cfg.ZipfS, 1, span),
+	}
+	t := k.Tracer
+	c.gaugeIDs.tenants = t.Gauge("aging.tenants")
+	c.gaugeIDs.rss = t.Gauge("aging.rss_pages")
+	c.gaugeIDs.cache = t.Gauge("aging.cache_pages")
+	c.gaugeIDs.free = t.Gauge("aging.free_pages")
+	c.gaugeIDs.frag = t.Gauge("aging.frag_permille")
+	c.gaugeIDs.ufi2m = t.Gauge("aging.ufi2m_permille")
+	return c
+}
+
+// Run executes the campaign and returns its trajectory. A non-nil
+// error means a whole-machine audit failed (the trajectory up to the
+// failing snapshot is returned alongside it).
+func (c *Campaign) Run() (*Trajectory, error) {
+	tr := &Trajectory{Policy: c.k.Policy.Name()}
+	sinceSnap, snaps := 0, 0
+	for step := 1; step <= c.cfg.Steps; step++ {
+		if err := c.churnStep(); err != nil {
+			return tr, fmt.Errorf("aging: step %d: %w", step, err)
+		}
+		if c.cfg.CacheChurnEvery > 0 && step%c.cfg.CacheChurnEvery == 0 {
+			if err := c.cacheChurn(); err != nil {
+				return tr, fmt.Errorf("aging: step %d cache churn: %w", step, err)
+			}
+		}
+		workloads.SettleDaemons(c.k, c.ds, c.cfg.SettleEpochs)
+
+		sinceSnap++
+		if sinceSnap < c.cfg.SnapshotEvery && step != c.cfg.Steps {
+			continue
+		}
+		sinceSnap = 0
+		snaps++
+		tr.Snapshots = append(tr.Snapshots, c.snapshot(step))
+		if c.cfg.AuditEvery > 0 && snaps%c.cfg.AuditEvery == 0 {
+			if err := check.Audit(c.k, c.cfg.Pinned); err != nil {
+				return tr, fmt.Errorf("aging: audit after step %d: %w", step, err)
+			}
+		}
+	}
+	// Drain the tenant population so the final audit also covers the
+	// teardown path (where the lifecycle bugs lived).
+	for len(c.tenants) > 0 {
+		c.exitTenant(len(c.tenants) - 1)
+	}
+	workloads.SettleDaemons(c.k, c.ds, c.cfg.SettleEpochs)
+	if err := check.Audit(c.k, c.cfg.Pinned); err != nil {
+		return tr, fmt.Errorf("aging: final audit: %w", err)
+	}
+	return tr, nil
+}
+
+// churnStep performs one tenant lifecycle action, chosen from a fixed
+// deterministic mix (arrive 30 %, touch 50 %, exit 20 %) adjusted at
+// the population bounds.
+func (c *Campaign) churnStep() error {
+	roll := c.rng.Intn(10)
+	switch {
+	case len(c.tenants) == 0 || (roll < 3 && len(c.tenants) < c.cfg.MaxTenants):
+		return c.arrive()
+	case roll < 8 || len(c.tenants) == 1:
+		return c.touch()
+	default:
+		c.exitTenant(c.rng.Intn(len(c.tenants)))
+		return nil
+	}
+}
+
+// arrive admits one tenant with a Zipf-skewed footprint and populates
+// it. Under memory pressure the page cache is squeezed first; a tenant
+// that still cannot fit is torn down again (the simulated OOM kill),
+// which is itself lifecycle churn worth exercising.
+func (c *Campaign) arrive() error {
+	pages := c.cfg.MinFootprintPages + c.zipf.Uint64()
+	zone := c.arrivals % len(c.k.Machine.Zones)
+	c.arrivals++
+	env := workloads.NewNativeEnv(c.k, zone)
+	env.Daemons = c.ds
+	env.NoRangeFault = c.cfg.NoRangeFault
+	v, err := env.MMap(addr.PagesToBytes(pages))
+	if err != nil {
+		return err
+	}
+	err = env.Populate(v)
+	if errors.Is(err, osim.ErrOOM) {
+		c.k.Cache.ReclaimUnder(c.cfg.ReclaimFreeFrac)
+		err = env.Populate(v)
+	}
+	if errors.Is(err, osim.ErrOOM) {
+		env.Exit()
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	c.tenants = append(c.tenants, &tenant{env: env, vma: v, pages: pages})
+	return nil
+}
+
+// touch revisits a random contiguous chunk of a random tenant's
+// footprint, re-dirtying it (and faulting any pages an eager policy
+// left unmapped after migrations).
+func (c *Campaign) touch() error {
+	t := c.tenants[c.rng.Intn(len(c.tenants))]
+	v := t.vma
+	chunk := t.pages / 4
+	if chunk == 0 {
+		chunk = t.pages
+	}
+	start := uint64(0)
+	if t.pages > chunk {
+		start = uint64(c.rng.Int63n(int64(t.pages - chunk)))
+	}
+	err := t.env.PopulateRange(v, v.Start.Add(addr.PagesToBytes(start)), addr.PagesToBytes(chunk))
+	if errors.Is(err, osim.ErrOOM) {
+		// Pressure: squeeze the cache and move on; the next touch
+		// retries naturally.
+		c.k.Cache.ReclaimUnder(c.cfg.ReclaimFreeFrac)
+		return nil
+	}
+	return err
+}
+
+// exitTenant tears down tenant i.
+func (c *Campaign) exitTenant(i int) {
+	c.tenants[i].env.Exit()
+	c.tenants = append(c.tenants[:i], c.tenants[i+1:]...)
+}
+
+// cacheChurn reads a fresh dataset file through the page cache and
+// applies eviction pressure, alternating DropOldest with the free-frac
+// reclaim sweep.
+func (c *Campaign) cacheChurn() error {
+	f := c.k.Cache.CreateFile(addr.PagesToBytes(c.cfg.FilePages))
+	if err := c.k.Cache.Read(f, 0, f.Bytes); err != nil && !errors.Is(err, osim.ErrOOM) {
+		return err
+	}
+	if c.rng.Intn(2) == 0 {
+		c.k.Cache.DropOldest()
+	}
+	c.k.Cache.ReclaimUnder(c.cfg.ReclaimFreeFrac)
+	return nil
+}
+
+// snapshot measures the machine and records/emits one trajectory point.
+func (c *Campaign) snapshot(step int) Snapshot {
+	var rss uint64
+	for _, p := range c.k.Processes() {
+		rss += p.RSSPages
+	}
+	hist := metrics.FreeOrderHistogram(func(fn func(pfn addr.PFN, order int)) {
+		for _, z := range c.k.Machine.Zones {
+			z.Buddy.VisitFreeBlocks(fn)
+		}
+	})
+	ufi2m := metrics.UnusableFreeIndex(hist, addr.HugeOrder)
+	s := Snapshot{
+		Step:         step,
+		ClockNs:      c.k.Clock,
+		Tenants:      len(c.tenants),
+		RSSPages:     rss,
+		CachePages:   c.k.Cache.ResidentPages,
+		FreePages:    c.k.Machine.FreePages(),
+		FragPermille: uint64(ufi2m*1000 + 0.5),
+		UFI2M:        ufi2m,
+		UFIMax:       metrics.UnusableFreeIndex(hist, addr.MaxOrder),
+		Faults:       c.k.Stats.TotalFaults(),
+	}
+
+	t := c.k.Tracer
+	t.SetGauge(c.gaugeIDs.tenants, uint64(s.Tenants))
+	t.SetGauge(c.gaugeIDs.rss, s.RSSPages)
+	t.SetGauge(c.gaugeIDs.cache, s.CachePages)
+	t.SetGauge(c.gaugeIDs.free, s.FreePages)
+	t.SetGauge(c.gaugeIDs.frag, s.FragPermille)
+	t.SetGauge(c.gaugeIDs.ufi2m, uint64(s.UFI2M*1000+0.5))
+	t.Emit(trace.EvAgingSnapshot, uint64(step), s.RSSPages, s.FragPermille)
+	c.k.Machine.TraceDepths()
+	t.Sample()
+	return s
+}

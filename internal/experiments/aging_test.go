@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFigAgingJobsInvariance pins that the aging grid is byte-identical
+// at any parallelism: each campaign owns its kernel, rng, and result
+// slot, so -jobs only changes wall-clock.
+func TestFigAgingJobsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-campaign sweep")
+	}
+	render := func(jobs int) string {
+		p := Params{StreamLen: 20_000, SettleEpochs: 30, Seed: 1, Jobs: jobs}
+		tab, err := FigAging(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tab.Render(&buf)
+		return buf.String()
+	}
+	seq, par := render(1), render(8)
+	if seq != par {
+		t.Fatalf("figAging differs between -jobs 1 and -jobs 8:\n--- jobs=1\n%s\n--- jobs=8\n%s", seq, par)
+	}
+}

@@ -208,12 +208,7 @@ func contigOf(ms []metrics.Mapping) ContigStats {
 // logical time to converge (post-population execution window), as the
 // paper's measurements average over the application's execution.
 func settleDaemons(k *osim.Kernel, ds []workloads.Daemon, epochs int) {
-	for i := 0; i < epochs; i++ {
-		k.Tick(2_100_000) // just over the daemon period
-		for _, d := range ds {
-			d.Maybe()
-		}
-	}
+	workloads.SettleDaemons(k, ds, epochs)
 }
 
 // runNativeContig runs one workload under one policy and returns its

@@ -35,6 +35,8 @@ var registry = map[string]Driver{
 	"extra-shadow":        ExtraShadow,
 	"extra-reservation":   ExtraReservation,
 	"extra-5level":        ExtraFiveLevel,
+	"figAging":            FigAging,
+	"figAgingTraj":        FigAgingTraj,
 }
 
 // IDs returns the registered experiment IDs in a stable order.

@@ -31,6 +31,11 @@ const (
 	// HugeOrder is the buddy order of a huge page (512 base pages).
 	HugeOrder = HugeShift - PageShift
 
+	// HugePages is the number of base pages in a huge page: the span of
+	// a 2 MiB page-table leaf in 4 KiB PTEs. Named so huge-leaf checks
+	// read as intent instead of a magic 512.
+	HugePages = HugeSize / PageSize
+
 	// MaxOrder is the largest buddy order tracked by the allocator.
 	// A MaxOrder block is 2^MaxOrder base pages = 4 MiB, matching the
 	// Linux default the paper describes (MAX_ORDER = 11 lists, orders
@@ -144,6 +149,16 @@ func OrderFor(pages uint64) int {
 		order++
 	}
 	return order
+}
+
+// LeafOrder maps a page-table leaf size in base pages (1 or HugePages,
+// the only sizes a leaf can have) to the buddy order of the block
+// backing it: HugeOrder for a huge leaf, 0 for a base leaf.
+func LeafOrder(pages uint64) int {
+	if pages == HugePages {
+		return HugeOrder
+	}
+	return 0
 }
 
 // AlignedTo reports whether pfn is naturally aligned for the given order.

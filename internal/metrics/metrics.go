@@ -171,6 +171,37 @@ func GeoMeanFrac(xs []float64) float64 {
 // pow is math.Pow; indirected for clarity of intent above.
 func pow(x, y float64) float64 { return math.Pow(x, y) }
 
+// FreeOrderHistogram tallies free blocks per buddy order from any
+// free-block visitor (a single zone's Buddy.VisitFreeBlocks, or a
+// machine-wide visitor that chains zones). Index o counts free blocks
+// of order o.
+func FreeOrderHistogram(visit func(fn func(pfn addr.PFN, order int))) [addr.MaxOrder + 1]uint64 {
+	var counts [addr.MaxOrder + 1]uint64
+	visit(func(_ addr.PFN, order int) { counts[order]++ })
+	return counts
+}
+
+// UnusableFreeIndex computes Gorman's unusable free space index for
+// allocations of the given order from a per-order free-block histogram:
+// the fraction (0..1) of free memory that sits in blocks too small to
+// satisfy a 2^order-page request. 0 means every free page is usable at
+// that granularity; 1 means none is. Zero when nothing is free (an
+// exhausted machine is not fragmented, matching FragScore).
+func UnusableFreeIndex(counts [addr.MaxOrder + 1]uint64, order int) float64 {
+	var free, usable uint64
+	for o := 0; o <= addr.MaxOrder; o++ {
+		pages := counts[o] * addr.OrderPages(o)
+		free += pages
+		if o >= order {
+			usable += pages
+		}
+	}
+	if free == 0 {
+		return 0
+	}
+	return float64(free-usable) / float64(free)
+}
+
 // SizeBuckets buckets a free-block histogram (pages -> count) into the
 // paper's Fig. 9 size classes, returning the fraction of total free
 // memory per class. Classes: <=2MiB, <=64MiB, <=1GiB, >1GiB.

@@ -186,3 +186,58 @@ func TestMeanOverflow(t *testing.T) {
 		t.Fatalf("Mean overflowed: got %g, want %g", got, float64(huge))
 	}
 }
+
+// TestUnusableFreeIndex pins the Gorman index on hand-built histograms
+// and its degenerate cases.
+func TestUnusableFreeIndex(t *testing.T) {
+	var empty [addr.MaxOrder + 1]uint64
+	if got := UnusableFreeIndex(empty, addr.HugeOrder); got != 0 {
+		t.Fatalf("empty machine index = %v, want 0", got)
+	}
+
+	// One MAX_ORDER block: fully usable at every order.
+	var pristine [addr.MaxOrder + 1]uint64
+	pristine[addr.MaxOrder] = 1
+	for o := 0; o <= addr.MaxOrder; o++ {
+		if got := UnusableFreeIndex(pristine, o); got != 0 {
+			t.Fatalf("pristine index at order %d = %v, want 0", o, got)
+		}
+	}
+
+	// Pure 4 KiB confetti: usable at order 0, fully unusable above.
+	var confetti [addr.MaxOrder + 1]uint64
+	confetti[0] = 1024
+	if got := UnusableFreeIndex(confetti, 0); got != 0 {
+		t.Fatalf("order-0 requests never starve, index = %v", got)
+	}
+	if got := UnusableFreeIndex(confetti, addr.HugeOrder); got != 1 {
+		t.Fatalf("confetti huge index = %v, want 1", got)
+	}
+
+	// Mixed: 512 pages in singles + one huge block = 1024 free pages,
+	// half unusable for huge allocations.
+	var mixed [addr.MaxOrder + 1]uint64
+	mixed[0] = 512
+	mixed[addr.HugeOrder] = 1
+	if got := UnusableFreeIndex(mixed, addr.HugeOrder); got != 0.5 {
+		t.Fatalf("mixed huge index = %v, want 0.5", got)
+	}
+	if got := UnusableFreeIndex(mixed, addr.MaxOrder); got != 1 {
+		t.Fatalf("nothing reaches MAX_ORDER, index = %v, want 1", got)
+	}
+}
+
+// TestFreeOrderHistogram checks the visitor adapter counts per order.
+func TestFreeOrderHistogram(t *testing.T) {
+	counts := FreeOrderHistogram(func(fn func(pfn addr.PFN, order int)) {
+		fn(0, 0)
+		fn(8, 3)
+		fn(16, 3)
+		fn(512, addr.HugeOrder)
+	})
+	want := [addr.MaxOrder + 1]uint64{}
+	want[0], want[3], want[addr.HugeOrder] = 1, 2, 1
+	if counts != want {
+		t.Fatalf("histogram = %v, want %v", counts, want)
+	}
+}

@@ -92,16 +92,26 @@ func (d *Ingens) scanVMA(p *osim.Process, v *vma.VMA) {
 	start := v.Start.HugeUp()
 	for base := start; base.Add(addr.HugeSize) <= v.End; base = base.Add(addr.HugeSize) {
 		pageIdx := uint64(base-v.Start) / addr.PageSize
-		util := float64(v.RegionTouched(pageIdx, 512)) / 512
+		util := float64(v.RegionTouched(pageIdx, addr.HugePages)) / addr.HugePages
 		if util < d.UtilThreshold {
 			continue
 		}
 		// Already huge?
-		if _, pages, ok := p.PT.Lookup(base); ok && pages == 512 {
+		if _, pages, ok := p.PT.Lookup(base); ok && pages == addr.HugePages {
 			continue
 		}
 		// Fully 4K-mapped? Promotion needs every page present.
 		if !regionFullyMapped(p.PT, base) {
+			continue
+		}
+		// CoW guard, as khugepaged's page_mapcount == 1 check: promote
+		// copies into a fresh private block mapped Writable, which on a
+		// CoW-shared region would silently break the sharing and grant
+		// write access without the fault path's copy accounting. Skip
+		// such regions until write faults resolve them. FlagRun with no
+		// bits to set is a pure probe; the region is fully mapped, so a
+		// short run can only mean a CoW leaf stopped it.
+		if p.PT.FlagRun(base, addr.HugePages, 0, pagetable.CoW) < addr.HugePages {
 			continue
 		}
 		d.promote(p, v, base)
@@ -117,8 +127,10 @@ func regionFullyMapped(pt *pagetable.Table, base addr.VirtAddr) bool {
 	return pt.HugeRegionFull4K(base)
 }
 
-// promote replaces 512 base mappings with one huge mapping, copying
-// into a freshly allocated huge block.
+// promote replaces the region's 512 base mappings with one huge
+// mapping, copying into a freshly allocated huge block. The scan's CoW
+// guard ensures every replaced PTE is a private anonymous Writable
+// mapping, so Writable is exactly the flag set the 4K leaves carried.
 func (d *Ingens) promote(p *osim.Process, v *vma.VMA, base addr.VirtAddr) {
 	k := d.Kernel
 	dst, err := k.Machine.AllocBlock(p.HomeZone, addr.HugeOrder)
@@ -137,9 +149,9 @@ func (d *Ingens) promote(p *osim.Process, v *vma.VMA, base addr.VirtAddr) {
 	p.PT.Map2M(base, dst, pagetable.Writable)
 	k.Machine.Frames.Get(dst).MapCount++
 	k.Stats.Promotions++
-	k.Stats.Migrations += 512
+	k.Stats.Migrations += addr.HugePages
 	k.Stats.Shootdowns++
-	k.Tick(512*osim.CopyPageNs + osim.ShootdownNs)
+	k.Tick(addr.HugePages*osim.CopyPageNs + osim.ShootdownNs)
 	if k.Tracer != nil {
 		k.Tracer.Emit(trace.EvPromote, uint64(base), uint64(dst), k.Clock)
 	}
@@ -174,7 +186,7 @@ func NewRanger(k *osim.Kernel) *Ranger {
 	return &Ranger{
 		Kernel:        k,
 		Period:        2_000_000,
-		PagesPerEpoch: 512, // one huge page per epoch — migration is not free
+		PagesPerEpoch: addr.HugePages, // one huge page per epoch — migration is not free
 		plans:         make(map[*vma.VMA][]rangerSegment),
 	}
 }
@@ -207,6 +219,7 @@ func (d *Ranger) MaybeN(n uint64) {
 // behaviour the paper calls out as penalising Ranger's response time
 // (Fig. 10).
 func (d *Ranger) Epoch() {
+	d.sweepPlans()
 	budget := d.PagesPerEpoch
 	for _, p := range d.Kernel.Processes() {
 		if budget == 0 {
@@ -220,6 +233,32 @@ func (d *Ranger) Epoch() {
 		})
 	}
 }
+
+// sweepPlans drops plan entries whose VMA is no longer attached to any
+// live process. Unmap and exit notify no daemon, so the map is
+// reconciled against the live VMA set once per epoch; without the
+// sweep, tenant churn leaks one entry (keyed by *vma.VMA) per VMA of
+// every exited process, unboundedly. Only deletions happen here, so
+// the map's iteration order cannot influence simulation state.
+func (d *Ranger) sweepPlans() {
+	if len(d.plans) == 0 {
+		return
+	}
+	live := make(map[*vma.VMA]struct{}, len(d.plans))
+	for _, p := range d.Kernel.Processes() {
+		p.VMAs.Visit(func(v *vma.VMA) { live[v] = struct{}{} })
+	}
+	for v := range d.plans {
+		if _, ok := live[v]; !ok {
+			delete(d.plans, v)
+		}
+	}
+}
+
+// PlanCount returns the number of per-VMA defragmentation plans
+// currently held. The churn regression tests pin that it stays bounded
+// by the live VMA population.
+func (d *Ranger) PlanCount() int { return len(d.plans) }
 
 // defragVMA migrates the VMA's mapped leaves toward its plan segments,
 // returning the remaining budget.
@@ -253,10 +292,7 @@ func (d *Ranger) defragVMA(p *osim.Process, v *vma.VMA, budget uint64) uint64 {
 		if !covered || l.pfn == want {
 			continue // unplanned tail or already in place
 		}
-		order := 0
-		if l.pages == 512 {
-			order = addr.HugeOrder
-		}
+		order := addr.LeafOrder(l.pages)
 		// The target slot must be free; Ranger iterates, so slots
 		// occupied by other pages of this VMA resolve in later epochs
 		// once those migrate away. (Real Ranger exchanges pages; the

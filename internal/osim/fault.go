@@ -132,8 +132,8 @@ func (k *Kernel) anonFault(p *Process, v *vma.VMA, va addr.VirtAddr, order int, 
 	if order == addr.HugeOrder {
 		p.PT.Map2M(va, pfn, flags)
 		k.recordFault(FaultHuge, va, k.faultLatency(order, placed))
-		v.MappedPages += 512
-		p.RSSPages += 512
+		v.MappedPages += addr.HugePages
+		p.RSSPages += addr.HugePages
 	} else {
 		p.PT.Map4K(va, pfn, flags)
 		k.recordFault(Fault4K, va, k.faultLatency(order, placed))
@@ -164,10 +164,9 @@ func (k *Kernel) cowFault(p *Process, v *vma.VMA, va addr.VirtAddr) error {
 	if !ok || !pte.Flags.Has(pagetable.CoW) {
 		return nil
 	}
-	order := 0
+	order := addr.LeafOrder(pages)
 	base := va.PageDown()
-	if pages == 512 {
-		order = addr.HugeOrder
+	if order == addr.HugeOrder {
 		base = va.HugeDown()
 	}
 	oldPFN := pte.PFN
@@ -224,7 +223,7 @@ func (p *Process) Fork() *Process {
 				pte.Flags = flags
 			}
 		}
-		if l.Pages == 512 {
+		if l.Pages == addr.HugePages {
 			child.PT.Map2M(l.VA, l.PTE.PFN, flags)
 		} else {
 			child.PT.Map4K(l.VA, l.PTE.PFN, flags)
@@ -299,10 +298,7 @@ func (k *Kernel) MigratePage(p *Process, va addr.VirtAddr, dst addr.PFN) bool {
 		return false
 	}
 	old := pte.PFN
-	order := 0
-	if pages == 512 {
-		order = addr.HugeOrder
-	}
+	order := addr.LeafOrder(pages)
 	// Redirect (not a raw pte.PFN write): migration changes the
 	// translation, so the table generation must move with it.
 	p.PT.Redirect(va, dst)

@@ -210,8 +210,15 @@ func (k *Kernel) BootReserve(blocks int) {
 	}
 }
 
-// NewProcess creates a process homed on the given zone.
+// NewProcess creates a process homed on the given zone. homeZone must
+// name an existing zone: the zonelist would silently clamp an
+// out-of-range preference to zone 0 on every later allocation, hiding
+// the caller's bug, so the constructor rejects it up front.
 func (k *Kernel) NewProcess(homeZone int) *Process {
+	if homeZone < 0 || homeZone >= len(k.Machine.Zones) {
+		panic(fmt.Sprintf("osim: NewProcess home zone %d out of range [0,%d)",
+			homeZone, len(k.Machine.Zones)))
+	}
 	k.nextID++
 	p := &Process{
 		ID:       k.nextID,
@@ -279,11 +286,7 @@ func (p *Process) MUnmap(v *vma.VMA) {
 		f := k.Machine.Frames.Get(pte.PFN)
 		f.MapCount--
 		if f.MapCount <= 0 && v.Kind == vma.Anonymous {
-			order := 0
-			if pages == 512 {
-				order = addr.HugeOrder
-			}
-			k.Machine.FreeBlock(pte.PFN, order)
+			k.Machine.FreeBlock(pte.PFN, addr.LeafOrder(pages))
 		}
 		p.RSSPages -= pages
 		va = va.Add(pages * addr.PageSize)
@@ -335,12 +338,12 @@ func (k *Kernel) recordFault(kind FaultKind, va addr.VirtAddr, latNs uint64) {
 func (k *Kernel) mapRange(p *Process, v *vma.VMA, vaStart addr.VirtAddr, pfnStart addr.PFN, pages uint64, flags pagetable.Flags) {
 	va, pfn, left := vaStart, pfnStart, pages
 	for left > 0 {
-		if left >= 512 && va.HugeAligned() && pfn.Addr().HugeAligned() {
+		if left >= addr.HugePages && va.HugeAligned() && pfn.Addr().HugeAligned() {
 			p.PT.Map2M(va, pfn, flags)
 			k.Machine.Frames.Get(pfn).MapCount++
-			va, pfn, left = va.Add(addr.HugeSize), pfn+512, left-512
-			p.RSSPages += 512
-			v.MappedPages += 512
+			va, pfn, left = va.Add(addr.HugeSize), pfn+addr.HugePages, left-addr.HugePages
+			p.RSSPages += addr.HugePages
+			v.MappedPages += addr.HugePages
 		} else {
 			p.PT.Map4K(va, pfn, flags)
 			k.Machine.Frames.Get(pfn).MapCount++

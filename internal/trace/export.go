@@ -19,6 +19,7 @@ const (
 	laneVirt
 	laneSim
 	lanePhase
+	laneAging
 )
 
 var laneNames = map[int]string{
@@ -30,6 +31,7 @@ var laneNames = map[int]string{
 	laneVirt:   "virt",
 	laneSim:    "sim",
 	lanePhase:  "phase",
+	laneAging:  "aging",
 }
 
 // kindLane maps every kind to its lane.
@@ -46,6 +48,7 @@ var kindLane = [numKinds]int{
 	EvSpotPredict: laneWalker, EvSpotMispredict: laneWalker,
 	EvNestedFault: laneVirt,
 	EvSimBatch:    laneSim, EvPhase: lanePhase,
+	EvAgingSnapshot: laneAging,
 }
 
 // kindArgs names each kind's A/B/C arguments for the Chrome export;
@@ -77,6 +80,7 @@ var kindArgs = [numKinds][3]string{
 	EvNestedFault:    {"gva", "gpa", ""},
 	EvSimBatch:       {"n", "misses", "faults"},
 	EvPhase:          {"", "", ""},
+	EvAgingSnapshot:  {"step", "rss_pages", "frag_permille"},
 }
 
 // spanKinds are exported as Chrome "X" (complete) events with a
@@ -139,7 +143,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Args: map[string]any{"name": "memsim"}}); err != nil {
 			return err
 		}
-		for _, tid := range []int{laneKernel, laneDaemon, laneBuddy, laneTLB, laneWalker, laneVirt, laneSim, lanePhase} {
+		for _, tid := range []int{laneKernel, laneDaemon, laneBuddy, laneTLB, laneWalker, laneVirt, laneSim, lanePhase, laneAging} {
 			if err := put(chromeEvent{Name: "thread_name", Ph: "M", PID: 1, TID: tid,
 				Args: map[string]any{"name": laneNames[tid]}}); err != nil {
 				return err

@@ -62,10 +62,10 @@ func TestChromeTraceSchema(t *testing.T) {
 		}
 	}
 
-	// Metadata names the process and all eight lanes.
-	if len(byName["process_name"]) != 1 || len(byName["thread_name"]) != 8 {
-		t.Errorf("metadata events: process=%d threads=%d, want 1 and 8",
-			len(byName["process_name"]), len(byName["thread_name"]))
+	// Metadata names the process and every lane.
+	if len(byName["process_name"]) != 1 || len(byName["thread_name"]) != len(laneNames) {
+		t.Errorf("metadata events: process=%d threads=%d, want 1 and %d",
+			len(byName["process_name"]), len(byName["thread_name"]), len(laneNames))
 	}
 
 	fault := doc.TraceEvents[byName["fault.4k"][0]]

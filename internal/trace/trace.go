@@ -96,6 +96,10 @@ const (
 	// EvPhase spans a named driver phase; A is the interned name id,
 	// resolved back to the name on export.
 	EvPhase
+	// EvAgingSnapshot marks one aging-campaign snapshot (step,
+	// rss_pages, frag_permille); the full per-snapshot state rides the
+	// "aging.*" gauges sampled at the same instant.
+	EvAgingSnapshot
 
 	numKinds
 )
@@ -113,6 +117,7 @@ var kindNames = [numKinds]string{
 	"spot.predict", "spot.mispredict",
 	"nested.fault",
 	"sim.batch", "phase",
+	"aging.snapshot",
 }
 
 // String returns the stable event-kind name.

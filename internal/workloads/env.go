@@ -46,6 +46,21 @@ type BatchDaemon interface {
 	MaybeN(n uint64)
 }
 
+// SettleDaemons advances logical time through the given number of
+// daemon epochs, polling every daemon after each tick. Each tick is
+// just over the stock daemon period (2 ms of logical time), so one
+// epoch here fires every clock-gated daemon exactly once. Experiment
+// drivers use it for the post-population execution window; the aging
+// harness uses it as the between-churn-step daemon schedule.
+func SettleDaemons(k *osim.Kernel, ds []Daemon, epochs int) {
+	for i := 0; i < epochs; i++ {
+		k.Tick(2_100_000)
+		for _, d := range ds {
+			d.Maybe()
+		}
+	}
+}
+
 // maybeN delivers n back-to-back polls, batched when the daemon
 // supports it.
 func maybeN(d Daemon, n uint64) {
