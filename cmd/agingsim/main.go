@@ -5,7 +5,13 @@
 // RSS) as CSV. Whole-machine audits run throughout; an audit failure
 // exits non-zero, which is what the CI aging-smoke step gates on.
 //
+// With -shards N the campaign splits the machine into N zone-owning
+// shards stepped concurrently by -shardjobs workers and merged at a
+// deterministic epoch barrier; the trajectory depends on -shards but
+// never on -shardjobs.
+//
 //	agingsim -policy ranger -steps 360 -csv traj.csv -trace trace.json
+//	agingsim -policy ca -shards 2 -shardjobs 2 -audit 1
 package main
 
 import (
@@ -20,14 +26,16 @@ import (
 
 func main() {
 	var (
-		policy   = flag.String("policy", "thp", "policy: thp, ingens, ca, eager, ranger, ideal")
-		steps    = flag.Int("steps", 240, "churn-step horizon")
-		snapshot = flag.Int("snapshot", 10, "snapshot every N steps")
-		audit    = flag.Int("audit", 4, "audit every N snapshots (-1 disables mid-run audits)")
-		seed     = flag.Int64("seed", 1, "campaign seed")
-		csvOut   = flag.String("csv", "", "write the trajectory CSV to `file` (default stdout)")
-		traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of the campaign to `file`")
-		counters = flag.String("counters", "", "write the traced counter time series as CSV to `file`")
+		policy    = flag.String("policy", "thp", "policy: thp, ingens, ca, eager, ranger, ideal")
+		steps     = flag.Int("steps", 240, "churn-step horizon")
+		snapshot  = flag.Int("snapshot", 10, "snapshot every N steps")
+		audit     = flag.Int("audit", 4, "audit every N snapshots (-1 disables mid-run audits)")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		shards    = flag.Int("shards", 1, "split the campaign into N zone-owning shards (clamped to the zone count)")
+		shardJobs = flag.Int("shardjobs", 0, "workers stepping shards concurrently: 0 = GOMAXPROCS, 1 = serial; trajectory is identical at any value")
+		csvOut    = flag.String("csv", "", "write the trajectory CSV to `file` (default stdout)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the campaign to `file`")
+		counters  = flag.String("counters", "", "write the traced counter time series as CSV to `file`")
 	)
 	flag.Parse()
 
@@ -58,6 +66,8 @@ func main() {
 		Steps:         *steps,
 		SnapshotEvery: *snapshot,
 		AuditEvery:    *audit,
+		Shards:        *shards,
+		ShardJobs:     *shardJobs,
 	}
 	traj, err := experiments.RunAgingCampaign(params, pol, cfg)
 

@@ -31,7 +31,9 @@
 // fragmentation-aging experiments (DESIGN.md §10): figAging ages every
 // policy across two tenant-churn horizons and figAgingTraj records the
 // full per-snapshot trajectories; cmd/agingsim runs a single campaign
-// with finer control.
+// with finer control. The aging campaigns run sharded — one shard per
+// host zone (DESIGN.md §11) — and -shardjobs bounds how many shards
+// step concurrently; tables never depend on it.
 package main
 
 import (
@@ -105,6 +107,7 @@ func main() {
 		exp        = flag.String("exp", "", "experiment id (see -list) or 'all'")
 		list       = flag.Bool("list", false, "list experiment ids")
 		jobs       = flag.Int("jobs", runtime.NumCPU(), "max concurrent experiments (1 = sequential)")
+		shardJobs  = flag.Int("shardjobs", 0, "workers stepping each sharded aging campaign's shards: 0 = GOMAXPROCS, 1 = serial; tables are identical at any value")
 		stream     = flag.Uint64("stream", 1_000_000, "measured-phase accesses for translation experiments")
 		settle     = flag.Int("settle", 400, "daemon-settle epochs for contiguity experiments")
 		seed       = flag.Int64("seed", 1, "base workload seed")
@@ -130,6 +133,7 @@ func main() {
 		SettleEpochs: *settle,
 		Seed:         *seed,
 		Jobs:         *jobs,
+		ShardJobs:    *shardJobs,
 	}
 	var tr *trace.Tracer
 	if *traceOut != "" || *counters != "" {

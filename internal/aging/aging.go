@@ -21,10 +21,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"strconv"
+	"sync"
 
 	"repro/internal/check"
 	"repro/internal/mem/addr"
+	"repro/internal/mem/zone"
 	"repro/internal/metrics"
 	"repro/internal/osim"
 	"repro/internal/osim/vma"
@@ -73,6 +76,30 @@ type Config struct {
 	// Pinned are frame extents the audits must treat as intentionally
 	// allocated outside any process (boot reservations).
 	Pinned []check.Extent
+
+	// Shards splits the campaign into independently stepped tenant
+	// streams (default 1: the historical single-stream campaign,
+	// byte-identical to earlier releases). With N > 1 the machine's
+	// zones are dealt round-robin to N shards; each shard owns its
+	// zones outright through a zone view and steps with its own
+	// kernel, daemon set, RNG stream, and logical clock, so shards
+	// can run concurrently without sharing any mutable state. An
+	// explicit epoch barrier merges the cross-shard effects —
+	// OOM-driven reclaim of the parent's page cache, cache churn,
+	// snapshots, and whole-machine audits — in shard-index order.
+	// Shards is clamped to the zone count.
+	Shards int
+	// ShardJobs bounds the workers stepping shards concurrently when
+	// Shards > 1 (<=0 selects GOMAXPROCS; 1 steps shards serially).
+	// Trajectories are deterministic in (Seed, Shards) and
+	// byte-identical at every ShardJobs value; only wall-clock moves.
+	ShardJobs int
+	// NewShardKernel builds one shard's kernel when Shards > 1: given
+	// the shard's zone view and index it returns the kernel (policy
+	// attached, no boot reservations — the parent kernel owns those)
+	// and the shard's private daemon set. Required when Shards > 1;
+	// experiments.RunAgingCampaign supplies the standard construction.
+	NewShardKernel func(view *zone.Machine, shard int) (*osim.Kernel, []workloads.Daemon)
 }
 
 // withDefaults fills zero fields.
@@ -109,6 +136,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SettleEpochs == 0 {
 		c.SettleEpochs = 2
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -190,9 +220,51 @@ type Campaign struct {
 	tenants  []*tenant
 	arrivals int // total tenants ever admitted (round-robins zones)
 
+	// shards is non-empty when cfg.Shards > 1: the campaign steps the
+	// shards (concurrently up to cfg.ShardJobs) and merges their
+	// effects at epoch barriers; the parent kernel k then serves only
+	// the shared page cache and the machine-wide measurements.
+	shards []*shard
+
 	gaugeIDs struct {
 		tenants, rss, cache, free, frag, ufi2m int
 	}
+}
+
+// shard is one independently stepped tenant stream owning a zone
+// subset. Everything a shard touches during its parallel step — its
+// kernel, its view's zones, its rng/zipf stream, its tenants — is
+// private to it; cross-shard effects are deferred to the barrier.
+type shard struct {
+	idx  int
+	k    *osim.Kernel
+	ds   []workloads.Daemon
+	rng  *rand.Rand
+	zipf *rand.Zipf
+
+	tenants  []*tenant
+	arrivals int // round-robins the shard's own zones
+
+	// pending are arrivals that hit OOM during the parallel phase; the
+	// barrier retries them after squeezing the shared page cache.
+	pending []pendingArrival
+	// wantReclaim marks a touch-path OOM whose cache reclaim is
+	// deferred to the barrier.
+	wantReclaim bool
+	// err is the shard's step failure, reported at the barrier in
+	// shard-index order so failures are deterministic.
+	err error
+}
+
+// pendingArrival is a populated-as-far-as-it-got tenant admission
+// parked for the barrier's global-reclaim retry. vma is nil when the
+// OOM hit inside MMap itself (eager placement populates there, and a
+// failed mmap tears its partial backing down): the barrier restarts
+// the admission from the mmap.
+type pendingArrival struct {
+	env   *workloads.Env
+	vma   *vma.VMA
+	pages uint64
 }
 
 // New builds a campaign over an existing kernel and daemon set. The
@@ -216,6 +288,36 @@ func New(k *osim.Kernel, ds []workloads.Daemon, cfg Config) *Campaign {
 	c.gaugeIDs.free = t.Gauge("aging.free_pages")
 	c.gaugeIDs.frag = t.Gauge("aging.frag_permille")
 	c.gaugeIDs.ufi2m = t.Gauge("aging.ufi2m_permille")
+
+	if shards := c.cfg.Shards; shards > 1 {
+		if shards > len(k.Machine.Zones) {
+			shards = len(k.Machine.Zones)
+			c.cfg.Shards = shards
+		}
+	}
+	if c.cfg.Shards > 1 {
+		if cfg.NewShardKernel == nil {
+			panic("aging: Config.Shards > 1 requires NewShardKernel")
+		}
+		for s := 0; s < c.cfg.Shards; s++ {
+			var owned []int
+			for z := s; z < len(k.Machine.Zones); z += c.cfg.Shards {
+				owned = append(owned, z)
+			}
+			sk, sds := cfg.NewShardKernel(k.Machine.View(owned...), s)
+			// Decorrelate the shard streams from each other and from
+			// the parent's cache-churn stream with a fixed odd-multiplier
+			// seed derivation (deterministic in Seed and shard index).
+			srng := rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(s+1)*0x9E3779B97F4A7C15)))
+			c.shards = append(c.shards, &shard{
+				idx:  s,
+				k:    sk,
+				ds:   sds,
+				rng:  srng,
+				zipf: rand.NewZipf(srng, cfg.ZipfS, 1, span),
+			})
+		}
+	}
 	return c
 }
 
@@ -223,6 +325,9 @@ func New(k *osim.Kernel, ds []workloads.Daemon, cfg Config) *Campaign {
 // error means a whole-machine audit failed (the trajectory up to the
 // failing snapshot is returned alongside it).
 func (c *Campaign) Run() (*Trajectory, error) {
+	if len(c.shards) > 0 {
+		return c.runSharded()
+	}
 	tr := &Trajectory{Policy: c.k.Policy.Name()}
 	sinceSnap, snaps := 0, 0
 	for step := 1; step <= c.cfg.Steps; step++ {
@@ -359,24 +464,30 @@ func (c *Campaign) snapshot(step int) Snapshot {
 	for _, p := range c.k.Processes() {
 		rss += p.RSSPages
 	}
+	return c.emitSnapshot(Snapshot{
+		Step:     step,
+		ClockNs:  c.k.Clock,
+		Tenants:  len(c.tenants),
+		RSSPages: rss,
+		Faults:   c.k.Stats.TotalFaults(),
+	})
+}
+
+// emitSnapshot fills the machine-wide fields of a partially measured
+// snapshot (the caller provides the per-stream ones), refreshes the
+// campaign gauges, and emits the snapshot event plus a counter sample.
+func (c *Campaign) emitSnapshot(s Snapshot) Snapshot {
 	hist := metrics.FreeOrderHistogram(func(fn func(pfn addr.PFN, order int)) {
 		for _, z := range c.k.Machine.Zones {
 			z.Buddy.VisitFreeBlocks(fn)
 		}
 	})
 	ufi2m := metrics.UnusableFreeIndex(hist, addr.HugeOrder)
-	s := Snapshot{
-		Step:         step,
-		ClockNs:      c.k.Clock,
-		Tenants:      len(c.tenants),
-		RSSPages:     rss,
-		CachePages:   c.k.Cache.ResidentPages,
-		FreePages:    c.k.Machine.FreePages(),
-		FragPermille: uint64(ufi2m*1000 + 0.5),
-		UFI2M:        ufi2m,
-		UFIMax:       metrics.UnusableFreeIndex(hist, addr.MaxOrder),
-		Faults:       c.k.Stats.TotalFaults(),
-	}
+	s.CachePages = c.k.Cache.ResidentPages
+	s.FreePages = c.k.Machine.FreePages()
+	s.FragPermille = uint64(ufi2m*1000 + 0.5)
+	s.UFI2M = ufi2m
+	s.UFIMax = metrics.UnusableFreeIndex(hist, addr.MaxOrder)
 
 	t := c.k.Tracer
 	t.SetGauge(c.gaugeIDs.tenants, uint64(s.Tenants))
@@ -385,8 +496,281 @@ func (c *Campaign) snapshot(step int) Snapshot {
 	t.SetGauge(c.gaugeIDs.free, s.FreePages)
 	t.SetGauge(c.gaugeIDs.frag, s.FragPermille)
 	t.SetGauge(c.gaugeIDs.ufi2m, uint64(s.UFI2M*1000+0.5))
-	t.Emit(trace.EvAgingSnapshot, uint64(step), s.RSSPages, s.FragPermille)
+	t.Emit(trace.EvAgingSnapshot, uint64(s.Step), s.RSSPages, s.FragPermille)
 	c.k.Machine.TraceDepths()
 	t.Sample()
 	return s
+}
+
+// --- sharded campaign ---
+//
+// With cfg.Shards > 1 each epoch has two phases. The parallel phase
+// steps every shard once — churn, then the shard's private daemon
+// settle — touching only shard-owned state (its kernel and clock, its
+// view's zones and frame records, its rng/zipf stream, its tenants),
+// which makes the phase race-free at any ShardJobs and its outcome
+// independent of worker interleaving. The serial barrier then merges
+// the cross-shard effects in shard-index order: deferred OOM handling
+// against the parent's page cache, periodic cache churn on the parent
+// kernel (which may allocate from any zone — safe, nothing else runs),
+// snapshots over the union machine, and multi-kernel audits.
+
+// runSharded is Run for Shards > 1.
+func (c *Campaign) runSharded() (*Trajectory, error) {
+	tr := &Trajectory{Policy: c.k.Policy.Name()}
+	sinceSnap, snaps := 0, 0
+	for step := 1; step <= c.cfg.Steps; step++ {
+		c.stepShards(step)
+		if err := c.barrier(step); err != nil {
+			return tr, err
+		}
+
+		sinceSnap++
+		if sinceSnap < c.cfg.SnapshotEvery && step != c.cfg.Steps {
+			continue
+		}
+		sinceSnap = 0
+		snaps++
+		tr.Snapshots = append(tr.Snapshots, c.snapshotSharded(step))
+		if c.cfg.AuditEvery > 0 && snaps%c.cfg.AuditEvery == 0 {
+			if err := c.auditSharded(); err != nil {
+				return tr, fmt.Errorf("aging: audit after step %d: %w", step, err)
+			}
+		}
+	}
+	// Drain every shard's tenants so the final audit covers teardown,
+	// mirroring the single-stream campaign.
+	for _, s := range c.shards {
+		for len(s.tenants) > 0 {
+			s.exit(len(s.tenants) - 1)
+		}
+		workloads.SettleDaemons(s.k, s.ds, c.cfg.SettleEpochs)
+	}
+	if err := c.auditSharded(); err != nil {
+		return tr, fmt.Errorf("aging: final audit: %w", err)
+	}
+	return tr, nil
+}
+
+// shardJobs resolves the parallel-phase worker bound.
+func (c *Campaign) shardJobs() int {
+	if c.cfg.ShardJobs <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.cfg.ShardJobs
+}
+
+// stepShards runs every shard's epoch step, concurrently up to
+// ShardJobs workers. Failures land in shard.err; the barrier reports
+// the lowest-index one so errors are deterministic too.
+func (c *Campaign) stepShards(step int) {
+	jobs := c.shardJobs()
+	if jobs <= 1 {
+		for _, s := range c.shards {
+			c.shardStep(s, step)
+		}
+		return
+	}
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for _, s := range c.shards {
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c.shardStep(s, step)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// shardStep is one shard's parallel-phase work: one churn action plus
+// the shard's private daemon settle window.
+func (c *Campaign) shardStep(s *shard, step int) {
+	t := c.k.Tracer
+	start := t.Start()
+	if err := c.shardChurn(s); err != nil {
+		s.err = err
+		return
+	}
+	workloads.SettleDaemons(s.k, s.ds, c.cfg.SettleEpochs)
+	t.EmitSpan(trace.EvShardEpoch, start, uint64(s.idx), uint64(step), s.k.Clock)
+}
+
+// shardMaxTenants deals the population cap across shards (remainder to
+// the low indexes), never below one.
+func (c *Campaign) shardMaxTenants(idx int) int {
+	n := c.cfg.MaxTenants / len(c.shards)
+	if idx < c.cfg.MaxTenants%len(c.shards) {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// shardChurn is churnStep on one shard's private stream.
+func (c *Campaign) shardChurn(s *shard) error {
+	roll := s.rng.Intn(10)
+	switch {
+	case len(s.tenants) == 0 || (roll < 3 && len(s.tenants) < c.shardMaxTenants(s.idx)):
+		return c.shardArrive(s)
+	case roll < 8 || len(s.tenants) == 1:
+		return c.shardTouch(s)
+	default:
+		s.exit(s.rng.Intn(len(s.tenants)))
+		return nil
+	}
+}
+
+// shardArrive admits one tenant into the shard's own zones. An OOM is
+// not resolved here — reclaiming the parent's page cache is a
+// cross-shard effect — so the admission parks on the pending list for
+// the barrier to retry.
+func (c *Campaign) shardArrive(s *shard) error {
+	pages := c.cfg.MinFootprintPages + s.zipf.Uint64()
+	zoneIdx := s.arrivals % len(s.k.Machine.Zones)
+	s.arrivals++
+	env := workloads.NewNativeEnv(s.k, zoneIdx)
+	env.Daemons = s.ds
+	env.NoRangeFault = c.cfg.NoRangeFault
+	v, err := env.MMap(addr.PagesToBytes(pages))
+	if errors.Is(err, osim.ErrOOM) {
+		s.pending = append(s.pending, pendingArrival{env: env, pages: pages})
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	err = env.Populate(v)
+	if errors.Is(err, osim.ErrOOM) {
+		s.pending = append(s.pending, pendingArrival{env: env, vma: v, pages: pages})
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	s.tenants = append(s.tenants, &tenant{env: env, vma: v, pages: pages})
+	return nil
+}
+
+// shardTouch is touch on a shard tenant; OOM defers the cache squeeze
+// to the barrier and moves on (the next touch retries naturally).
+func (c *Campaign) shardTouch(s *shard) error {
+	t := s.tenants[s.rng.Intn(len(s.tenants))]
+	v := t.vma
+	chunk := t.pages / 4
+	if chunk == 0 {
+		chunk = t.pages
+	}
+	start := uint64(0)
+	if t.pages > chunk {
+		start = uint64(s.rng.Int63n(int64(t.pages - chunk)))
+	}
+	err := t.env.PopulateRange(v, v.Start.Add(addr.PagesToBytes(start)), addr.PagesToBytes(chunk))
+	if errors.Is(err, osim.ErrOOM) {
+		s.wantReclaim = true
+		return nil
+	}
+	return err
+}
+
+// exit tears down shard tenant i.
+func (s *shard) exit(i int) {
+	s.tenants[i].env.Exit()
+	s.tenants = append(s.tenants[:i], s.tenants[i+1:]...)
+}
+
+// barrier merges the epoch's cross-shard effects in shard-index order:
+// step errors, deferred reclaim, parked OOM admissions (squeeze the
+// shared cache, retry the populate, OOM-kill on a second failure), and
+// the periodic cache churn on the parent kernel.
+func (c *Campaign) barrier(step int) error {
+	for _, s := range c.shards {
+		if s.err != nil {
+			return fmt.Errorf("aging: step %d shard %d: %w", step, s.idx, s.err)
+		}
+	}
+	t := c.k.Tracer
+	start := t.Start()
+	var retried uint64
+	for _, s := range c.shards {
+		if s.wantReclaim {
+			s.wantReclaim = false
+			c.k.Cache.ReclaimUnder(c.cfg.ReclaimFreeFrac)
+		}
+		for _, pa := range s.pending {
+			retried++
+			c.k.Cache.ReclaimUnder(c.cfg.ReclaimFreeFrac)
+			v := pa.vma
+			if v == nil {
+				var err error
+				v, err = pa.env.MMap(addr.PagesToBytes(pa.pages))
+				if errors.Is(err, osim.ErrOOM) {
+					pa.env.Exit() // the simulated OOM kill
+					continue
+				}
+				if err != nil {
+					return fmt.Errorf("aging: step %d shard %d OOM retry: %w", step, s.idx, err)
+				}
+			}
+			err := pa.env.Populate(v)
+			if errors.Is(err, osim.ErrOOM) {
+				pa.env.Exit() // the simulated OOM kill
+				continue
+			}
+			if err != nil {
+				return fmt.Errorf("aging: step %d shard %d OOM retry: %w", step, s.idx, err)
+			}
+			s.tenants = append(s.tenants, &tenant{env: pa.env, vma: v, pages: pa.pages})
+		}
+		s.pending = s.pending[:0]
+	}
+	if c.cfg.CacheChurnEvery > 0 && step%c.cfg.CacheChurnEvery == 0 {
+		if err := c.cacheChurn(); err != nil {
+			return fmt.Errorf("aging: step %d cache churn: %w", step, err)
+		}
+	}
+	t.EmitSpan(trace.EvShardBarrier, start, uint64(step), retried, c.k.Clock)
+	return nil
+}
+
+// snapshotSharded measures across every shard kernel plus the parent.
+// ClockNs composes the parent's clock (cache churn, reclaim) with the
+// slowest shard's — logical time advanced in parallel, so the campaign
+// "took" as long as its slowest stream.
+func (c *Campaign) snapshotSharded(step int) Snapshot {
+	var rss, faults, maxClock uint64
+	tenants := 0
+	for _, s := range c.shards {
+		for _, p := range s.k.Processes() {
+			rss += p.RSSPages
+		}
+		faults += s.k.Stats.TotalFaults()
+		tenants += len(s.tenants)
+		if s.k.Clock > maxClock {
+			maxClock = s.k.Clock
+		}
+	}
+	return c.emitSnapshot(Snapshot{
+		Step:     step,
+		ClockNs:  c.k.Clock + maxClock,
+		Tenants:  tenants,
+		RSSPages: rss,
+		Faults:   faults + c.k.Stats.TotalFaults(),
+	})
+}
+
+// auditSharded runs the multi-kernel whole-machine audit: references
+// are gathered from every shard's processes and the parent's page
+// cache before one frame sweep over the union machine.
+func (c *Campaign) auditSharded() error {
+	ks := make([]*osim.Kernel, 0, len(c.shards)+1)
+	ks = append(ks, c.k)
+	for _, s := range c.shards {
+		ks = append(ks, s.k)
+	}
+	return check.AuditKernels(c.k.Machine, ks, c.cfg.Pinned)
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/mem/addr"
 	"repro/internal/mem/frame"
+	"repro/internal/mem/zone"
 	"repro/internal/osim"
 	"repro/internal/osim/pagetable"
 	"repro/internal/osim/vma"
@@ -22,8 +23,19 @@ import (
 // Audit only reads; it is safe to call between any two kernel
 // operations, from any test.
 func Audit(k *osim.Kernel, pinned []Extent) error {
-	m := k.Machine
+	return AuditKernels(k.Machine, []*osim.Kernel{k}, pinned)
+}
 
+// AuditKernels is Audit over a machine whose software state is split
+// across several kernels sharing one frame table — the sharded aging
+// campaign, where each shard kernel owns a zone subset through a view
+// and the parent kernel owns the page cache and boot reservations.
+// Structural invariants and the frame sweep run over m (the union
+// machine); references are gathered from every kernel's processes and
+// page cache before the sweep, so a frame mapped by one shard and
+// cached by the parent is accounted once from each. The kernels must
+// be quiesced (no concurrent stepping) for the duration of the call.
+func AuditKernels(m *zone.Machine, ks []*osim.Kernel, pinned []Extent) error {
 	// Layer-local structural invariants first: buddy list structure and
 	// the contiguity map riding the MAX_ORDER lists, per zone, plus
 	// free-count agreement between the frame table and the buddy.
@@ -51,22 +63,24 @@ func Audit(k *osim.Kernel, pinned []Extent) error {
 		}
 	}
 
-	// Gather every reference the kernel's software structures hold on
+	// Gather every reference the kernels' software structures hold on
 	// physical frames: page-table leaves (the leaf head frame carries
 	// one MapCount per referencing leaf; interior frames of a huge leaf
 	// carry none but are spanned), and page-cache residency (the cache
 	// owns one reference per cached page).
 	refs := make(map[addr.PFN]int32)
 	span := make(map[addr.PFN]bool)
-	for _, p := range k.Processes() {
-		if err := auditProcess(k, p, refs, span); err != nil {
-			return fmt.Errorf("process %d: %w", p.ID, err)
+	for _, k := range ks {
+		for _, p := range k.Processes() {
+			if err := auditProcess(m, p, refs, span); err != nil {
+				return fmt.Errorf("process %d: %w", p.ID, err)
+			}
 		}
+		k.Cache.VisitCached(func(_ *osim.File, _ uint64, pfn addr.PFN) {
+			refs[pfn]++
+			span[pfn] = true
+		})
 	}
-	k.Cache.VisitCached(func(_ *osim.File, _ uint64, pfn addr.PFN) {
-		refs[pfn]++
-		span[pfn] = true
-	})
 
 	pinnedSet := make(map[addr.PFN]bool)
 	for _, e := range pinned {
@@ -111,8 +125,9 @@ func Audit(k *osim.Kernel, pinned []Extent) error {
 }
 
 // auditProcess checks one process's translation/VMA/RSS accounting and
-// accumulates its frame references into refs/span.
-func auditProcess(k *osim.Kernel, p *osim.Process, refs map[addr.PFN]int32, span map[addr.PFN]bool) error {
+// accumulates its frame references into refs/span. m is the union
+// machine, which may be wider than the process's own kernel's view.
+func auditProcess(m *zone.Machine, p *osim.Process, refs map[addr.PFN]int32, span map[addr.PFN]bool) error {
 	perVMA := make(map[*vma.VMA]uint64)
 	var total uint64
 	var bad error
@@ -125,7 +140,7 @@ func auditProcess(k *osim.Kernel, p *osim.Process, refs map[addr.PFN]int32, span
 		if bad != nil {
 			return
 		}
-		if !k.Machine.Frames.Contains(l.PTE.PFN) {
+		if !m.Frames.Contains(l.PTE.PFN) {
 			bad = fmt.Errorf("leaf %s maps PFN %d outside the machine", l.VA, l.PTE.PFN)
 			return
 		}

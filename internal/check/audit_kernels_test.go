@@ -1,0 +1,81 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mem/addr"
+	"repro/internal/mem/zone"
+	"repro/internal/osim"
+	"repro/internal/workloads"
+)
+
+// shardedFixture builds the sharded-campaign ownership shape directly:
+// one two-zone machine, a parent kernel over the whole of it, and one
+// shard kernel per zone view, each with a populated process.
+func shardedFixture(t *testing.T) (*zone.Machine, []*osim.Kernel, []*workloads.Env) {
+	t.Helper()
+	m := zone.NewMachine(zone.Config{
+		ZonePages: []uint64{8 * addr.MaxOrderPages, 8 * addr.MaxOrderPages},
+	})
+	parent := osim.NewKernel(m, osim.DefaultPolicy{})
+	ks := []*osim.Kernel{parent}
+	var envs []*workloads.Env
+	for z := 0; z < 2; z++ {
+		sk := osim.NewKernel(m.View(z), osim.DefaultPolicy{})
+		ks = append(ks, sk)
+		env := workloads.NewNativeEnv(sk, 0)
+		v, err := env.MMap(64 << 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := env.Populate(v); err != nil {
+			t.Fatal(err)
+		}
+		envs = append(envs, env)
+	}
+	return m, ks, envs
+}
+
+// TestAuditKernelsCleanAcrossShards checks that a consistent machine
+// whose software state is split across several kernels audits clean —
+// the per-kernel gather must union processes and caches before the
+// frame sweep, or every shard's pages look leaked to the others.
+func TestAuditKernelsCleanAcrossShards(t *testing.T) {
+	m, ks, _ := shardedFixture(t)
+	if err := AuditKernels(m, ks, nil); err != nil {
+		t.Fatalf("clean sharded machine failed audit: %v", err)
+	}
+	// A shard kernel also self-audits clean: its machine is the zone
+	// view, so the frame sweep never crosses into zones it doesn't own.
+	if err := Audit(ks[1], nil); err != nil {
+		t.Fatalf("shard kernel failed to self-audit within its view: %v", err)
+	}
+}
+
+// TestAuditKernelsDetectsLeak checks the sweep still bites with the
+// union gather: a frame allocated behind every kernel's back is leaked.
+func TestAuditKernelsDetectsLeak(t *testing.T) {
+	m, ks, _ := shardedFixture(t)
+	if _, err := m.AllocBlock(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := AuditKernels(m, ks, nil)
+	if err == nil || !strings.Contains(err.Error(), "leaked") {
+		t.Fatalf("audit missed leaked frame: %v", err)
+	}
+}
+
+// TestAuditKernelsDetectsCrossShardDrift corrupts one shard's RSS
+// accounting and expects the multi-kernel audit to attribute it.
+func TestAuditKernelsDetectsCrossShardDrift(t *testing.T) {
+	m, ks, envs := shardedFixture(t)
+	envs[1].Proc.RSSPages++
+	if err := AuditKernels(m, ks, nil); err == nil {
+		t.Fatal("audit missed RSS drift on a shard kernel")
+	}
+	envs[1].Proc.RSSPages--
+	if err := AuditKernels(m, ks, nil); err != nil {
+		t.Fatalf("fixture no longer clean after revert: %v", err)
+	}
+}

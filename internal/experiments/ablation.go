@@ -44,6 +44,9 @@ func AblationPlacement(p Params) (*Table, error) {
 			name = "first-fit"
 		}
 		t.Rows = append(t.Rows, []string{name, fmt.Sprint(stA.Maps99), fmt.Sprint(stB.Maps99)})
+		envA.Exit()
+		envB.Exit()
+		recycleKernel(k)
 	}
 	return t, nil
 }
@@ -117,6 +120,7 @@ func AblationSortedMaxOrder(p Params) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(sorted), f1(float64(largest) * 4096 / (1 << 20)), f3(frac[3]),
 		})
+		recycleKernel(k)
 	}
 	return t, nil
 }
@@ -156,6 +160,8 @@ func AblationOffsetBudget(p Params) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(budget), fmt.Sprint(st.Maps99), fmt.Sprint(k.Stats.CAFallbacks),
 		})
+		env.Exit()
+		recycleKernel(k)
 	}
 	return t, nil
 }
@@ -201,6 +207,7 @@ func AblationSpotConfidence(p Params) (*Table, error) {
 			pct(float64(res.SpotMispredict) / total),
 			pct(float64(res.SpotNoPred) / total),
 		})
+		recycleVM(vm)
 	}
 	return t, nil
 }
@@ -238,6 +245,7 @@ func AblationSpotGeometry(p Params) (*Table, error) {
 			pct(float64(res.SpotCorrect) / total),
 			pct(float64(res.SpotNoPred) / total),
 		})
+		recycleVM(vm)
 	}
 	return t, nil
 }

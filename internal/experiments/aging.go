@@ -6,6 +6,10 @@ import (
 	"repro/internal/aging"
 	"repro/internal/check"
 	"repro/internal/mem/addr"
+	"repro/internal/mem/zone"
+	"repro/internal/osim"
+	"repro/internal/osim/daemon"
+	"repro/internal/workloads"
 )
 
 // bootPinned describes the BootReserve extents of the standard host
@@ -31,23 +35,58 @@ func bootPinned(numaOff bool) []check.Extent {
 
 // RunAgingCampaign builds the standard host kernel under the named
 // policy and runs one aging campaign on it. cfg.Pinned is filled from
-// the kernel's boot reservations. cmd/agingsim calls this directly;
-// the figAging drivers fan it out over a policy x horizon grid.
+// the kernel's boot reservations, and for sharded campaigns
+// (cfg.Shards > 1) the shard-kernel factory is supplied here so the
+// aging package stays decoupled from policy construction. cmd/agingsim
+// calls this directly; the figAging drivers fan it out over a policy x
+// horizon grid.
 func RunAgingCampaign(pr Params, pol PolicyName, cfg aging.Config) (*aging.Trajectory, error) {
 	k, ds := newNativeKernel(pr, pol, false)
 	cfg.Pinned = bootPinned(false)
 	cfg.NoRangeFault = pr.NoRangeFault
+	if cfg.Shards > 1 {
+		if cfg.ShardJobs == 0 {
+			cfg.ShardJobs = pr.ShardJobs
+		}
+		cfg.NewShardKernel = shardKernelFactory(pr, pol)
+	}
 	tr, err := aging.New(k, ds, cfg).Run()
 	if tr != nil {
 		tr.Policy = string(pol)
 	}
+	if err == nil {
+		recycleKernel(k)
+	}
 	return tr, err
+}
+
+// shardKernelFactory builds a sharded campaign's per-shard kernels:
+// the campaign policy over the shard's zone view, with private daemon
+// instances (so rotors, memos, and scan state never cross shards) and
+// no boot reservations — the parent kernel placed those before the
+// views were cut.
+func shardKernelFactory(pr Params, pol PolicyName) func(view *zone.Machine, shard int) (*osim.Kernel, []workloads.Daemon) {
+	return func(view *zone.Machine, shard int) (*osim.Kernel, []workloads.Daemon) {
+		k := osim.NewKernel(view, placementFor(pol))
+		var ds []workloads.Daemon
+		switch pol {
+		case PolicyIngens:
+			ds = append(ds, daemon.NewIngens(k))
+		case PolicyRanger:
+			ds = append(ds, daemon.NewRanger(k))
+		}
+		k.SetTracer(pr.Tracer)
+		return k, ds
+	}
 }
 
 // agingConfig is the shared campaign shape of the figAging drivers:
 // up to ten tenants of as much as 96 MiB against the 1.25 GiB host,
 // 16 MiB dataset files every five steps, audits at every fourth
-// snapshot, seeded from Params.
+// snapshot, seeded from Params. The campaigns run sharded — one shard
+// per host zone, each owning its zone outright — so the drivers also
+// exercise the parallel shard stepping and the epoch barrier; the
+// resulting tables are byte-identical at every Params.ShardJobs.
 func agingConfig(pr Params, steps int) aging.Config {
 	return aging.Config{
 		Seed:              pr.Seed,
@@ -58,6 +97,8 @@ func agingConfig(pr Params, steps int) aging.Config {
 		ZipfS:             1.1, // heavy tail: big tenants arrive regularly
 		FilePages:         4096,
 		CacheChurnEvery:   5,
+		Shards:            2, // one per host zone
+		ShardJobs:         pr.ShardJobs,
 	}
 }
 

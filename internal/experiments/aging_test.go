@@ -27,3 +27,35 @@ func TestFigAgingJobsInvariance(t *testing.T) {
 		t.Fatalf("figAging differs between -jobs 1 and -jobs 8:\n--- jobs=1\n%s\n--- jobs=8\n%s", seq, par)
 	}
 }
+
+// TestFigAgingShardJobsInvariance pins the sharded-campaign contract
+// at the driver level: the figAging grid (which runs every campaign
+// with one shard per host zone) is byte-identical whether the shards
+// of each campaign step serially or concurrently — -shardjobs only
+// changes wall-clock.
+func TestFigAgingShardJobsInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-campaign sweep")
+	}
+	render := func(shardJobs int) string {
+		p := Params{StreamLen: 20_000, SettleEpochs: 30, Seed: 1, Jobs: 1, ShardJobs: shardJobs}
+		tab, err := FigAging(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tab.Render(&buf)
+		return buf.String()
+	}
+	var want string
+	for _, jobs := range []int{1, 2, 0} { // 0 resolves to GOMAXPROCS
+		got := render(jobs)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("figAging differs at -shardjobs %d:\n--- shardjobs=1\n%s\n--- shardjobs=%d\n%s", jobs, want, jobs, got)
+		}
+	}
+}

@@ -30,15 +30,17 @@ func Fig7For(p Params, names []string, policies []PolicyName) (*Table, error) {
 			"the paper's BT-vs-CA boundary effect appears in the 2D dimension (Figs. 12/14)",
 		},
 	}
-	rows := make([][]string, len(names)*len(policies))
+	g := newGrid(len(names), len(policies))
+	rows := make([][]string, g.size())
 	err := forEach(len(rows), p.jobs(), func(i int) error {
-		name := names[i/len(policies)]
-		pol := policies[i%len(policies)]
-		st, _, env, err := runNativeContig(p, workloads.ByName(name), pol)
+		name := names[g.at(i, 0)]
+		pol := policies[g.at(i, 1)]
+		st, k, env, err := runNativeContig(p, workloads.ByName(name), pol)
 		if err != nil {
 			return err
 		}
 		env.Exit()
+		recycleKernel(k)
 		rows[i] = []string{
 			name, string(pol), f3(st.Cov32), f3(st.Cov128), fmt.Sprint(st.Maps99),
 		}
@@ -74,11 +76,12 @@ func Fig8Sweep(p Params, pressures []float64, names []string, policies []PolicyN
 		},
 	}
 	type cell struct{ c32, c128, m99 float64 }
-	cells := make([]cell, len(pressures)*len(policies)*len(names))
+	g := newGrid(len(pressures), len(policies), len(names))
+	cells := make([]cell, g.size())
 	err := forEach(len(cells), p.jobs(), func(i int) error {
-		pressure := pressures[i/(len(policies)*len(names))]
-		pol := policies[(i/len(names))%len(policies)]
-		name := names[i%len(names)]
+		pressure := pressures[g.at(i, 0)]
+		pol := policies[g.at(i, 1)]
+		name := names[g.at(i, 2)]
 		k, ds := newNativeKernel(p, pol, true /* numaOff */)
 		workloads.Hog(k.Machine, pressure, rand.New(rand.NewSource(42)))
 		env := workloads.NewNativeEnv(k, 0)
@@ -91,6 +94,8 @@ func Fig8Sweep(p Params, pressures []float64, names []string, policies []PolicyN
 		settleDaemons(k, ds, p.SettleEpochs)
 		st := contigOf(metrics.FromPageTable(env.Proc.PT))
 		cells[i] = cell{c32: st.Cov32, c128: st.Cov128, m99: float64(st.Maps99)}
+		env.Exit()
+		recycleKernel(k)
 		return nil
 	})
 	if err != nil {
@@ -98,10 +103,9 @@ func Fig8Sweep(p Params, pressures []float64, names []string, policies []PolicyN
 	}
 	for pi, pressure := range pressures {
 		for qi, pol := range policies {
-			base := (pi*len(policies) + qi) * len(names)
 			var c32, c128, m99 []float64
 			for ni := range names {
-				c := cells[base+ni]
+				c := cells[g.index(pi, qi, ni)]
 				c32 = append(c32, c.c32)
 				c128 = append(c128, c.c128)
 				m99 = append(m99, c.m99)
@@ -156,6 +160,7 @@ func Fig9(p Params) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			string(pol), f3(frac[0]), f3(frac[1]), f3(frac[2]), f3(frac[3]),
 		})
+		recycleKernel(k)
 	}
 	return t, nil
 }
@@ -225,6 +230,9 @@ func Fig10(p Params) (*Table, error) {
 			string(pol), f3(stA.Cov32), f3(stB.Cov32),
 			fmt.Sprint(stA.Maps99), fmt.Sprint(stB.Maps99),
 		})
+		envA.Exit()
+		envB.Exit()
+		recycleKernel(k)
 	}
 	return t, nil
 }
@@ -296,6 +304,7 @@ func Fig1b(p Params) (*Table, error) {
 			// cache would otherwise accumulate without bound.
 			k.Cache.ReclaimUnder(0.5)
 		}
+		recycleKernel(k)
 	}
 	for run := 0; run < 10; run++ {
 		t.Rows = append(t.Rows, []string{
@@ -349,6 +358,8 @@ func Fig1c(p Params) (*Table, error) {
 				series[i].ranger = pts[i]
 			}
 		}
+		env.Exit()
+		recycleKernel(k)
 	}
 	for i, pt := range series {
 		t.Rows = append(t.Rows, []string{

@@ -232,6 +232,20 @@ func runNativeContig(p Params, w workloads.Workload, pol PolicyName) (ContigStat
 	return contigOf(ms), k, env, nil
 }
 
+// recycleKernel returns a finished cell's machine to the zone
+// construction pool. Only call once every reference into the machine —
+// processes, envs, the kernel itself — is dead to the caller; metrics
+// snapshots and table rows hold copies and are safe.
+func recycleKernel(k *osim.Kernel) {
+	k.Machine.Recycle()
+}
+
+// recycleVM pools both of a finished cell's machines (guest and host).
+func recycleVM(vm *virt.VM) {
+	vm.Guest.Machine.Recycle()
+	vm.Host.Machine.Recycle()
+}
+
 // workloadNames returns the five paper workload names in order.
 func workloadNames() []string {
 	out := make([]string, 0, 5)

@@ -53,6 +53,9 @@ func ExtraReservation(p Params) (*Table, error) {
 		stA := contigOf(metrics.FromPageTable(pa.PT))
 		stB := contigOf(metrics.FromPageTable(pb.PT))
 		t.Rows = append(t.Rows, []string{label, fmt.Sprint(stA.Maps99), fmt.Sprint(stB.Maps99)})
+		pa.Exit()
+		pb.Exit()
+		recycleKernel(k)
 		return nil
 	}
 	if err := run(osim.CAPolicy{}, "best-effort (paper)"); err != nil {
@@ -98,6 +101,7 @@ func ExtraFiveLevel(p Params) (*Table, error) {
 			pct(perfmodel.PagingOverhead(res)),
 			pct(perfmodel.SpotOverhead(res)),
 		})
+		recycleVM(vm)
 	}
 	return t, nil
 }

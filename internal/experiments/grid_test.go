@@ -1,0 +1,70 @@
+package experiments
+
+import "testing"
+
+func TestGridRoundTrip(t *testing.T) {
+	for _, dims := range [][]int{{1}, {4}, {3, 5}, {2, 3, 4}, {5, 1, 7}} {
+		g := newGrid(dims...)
+		want := 1
+		for _, d := range dims {
+			want *= d
+		}
+		if g.size() != want {
+			t.Fatalf("size(%v) = %d, want %d", dims, g.size(), want)
+		}
+		for i := 0; i < g.size(); i++ {
+			coords := make([]int, len(dims))
+			for axis := range dims {
+				coords[axis] = g.at(i, axis)
+				if coords[axis] < 0 || coords[axis] >= dims[axis] {
+					t.Fatalf("at(%d, %d) = %d out of range for %v", i, axis, coords[axis], dims)
+				}
+			}
+			if back := g.index(coords...); back != i {
+				t.Fatalf("index(at(%d)) = %d for dims %v", i, back, dims)
+			}
+		}
+	}
+}
+
+// TestGridMatchesHistoricalDecode pins the axis convention to the
+// div/mod idiom the drivers used inline: outer axis i/inner, inner
+// axis i%inner for 2D, and the 3D decode Fig8Sweep carried.
+func TestGridMatchesHistoricalDecode(t *testing.T) {
+	names, policies := 5, 3
+	g2 := newGrid(names, policies)
+	for i := 0; i < g2.size(); i++ {
+		if g2.at(i, 0) != i/policies || g2.at(i, 1) != i%policies {
+			t.Fatalf("2D decode diverged at %d: (%d,%d) vs (%d,%d)",
+				i, g2.at(i, 0), g2.at(i, 1), i/policies, i%policies)
+		}
+	}
+	pressures := 6
+	g3 := newGrid(pressures, policies, names)
+	for i := 0; i < g3.size(); i++ {
+		wp := i / (policies * names)
+		wq := (i / names) % policies
+		wn := i % names
+		if g3.at(i, 0) != wp || g3.at(i, 1) != wq || g3.at(i, 2) != wn {
+			t.Fatalf("3D decode diverged at %d", i)
+		}
+		if base := (wp*policies + wq) * names; g3.index(wp, wq, 0) != base {
+			t.Fatalf("3D base index diverged at (%d,%d)", wp, wq)
+		}
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("empty", func() { newGrid() })
+	expectPanic("zero axis", func() { newGrid(3, 0) })
+	expectPanic("arity", func() { newGrid(2, 2).index(1) })
+	expectPanic("range", func() { newGrid(2, 2).index(1, 2) })
+}

@@ -27,6 +27,12 @@ type Params struct {
 	// sequential execution. Output is identical either way; only
 	// wall-clock changes.
 	Jobs int
+	// ShardJobs bounds the workers stepping a sharded aging campaign's
+	// shards concurrently (the figAging drivers and RunAgingCampaign;
+	// see aging.Config.ShardJobs): <=0 means GOMAXPROCS, 1 steps
+	// shards serially. Trajectories and tables are byte-identical at
+	// any value; only wall-clock changes.
+	ShardJobs int
 	// NoWalkCache disables sim's software walk-memoization cache in
 	// every translation driver. Tables are byte-identical either way
 	// (runner.TestWalkCacheToggleMatches pins this); the toggle exists

@@ -17,7 +17,10 @@ import (
 // gain from novel translation hardware.
 func Fig11(p Params) (*Table, error) { return Fig11For(p, workloadNames()) }
 
-// Fig11For is the parameterized core of Fig11.
+// Fig11For is the parameterized core of Fig11. The (workload, policy)
+// cells each build their own kernel, so the grid fans out on the
+// bounded worker pool like Fig7's; normalization against THP happens
+// at row assembly, once every cell of a workload is in.
 func Fig11For(p Params, names []string) (*Table, error) {
 	t := &Table{
 		Title:  "Fig 11: software runtime overhead normalized to THP",
@@ -27,39 +30,48 @@ func Fig11For(p Params, names []string) (*Table, error) {
 		},
 	}
 	policies := []PolicyName{PolicyTHP, PolicyIngens, PolicyCA, PolicyEager, PolicyRanger}
-	for _, name := range names {
-		w := workloads.ByName(name)
-		kernelNs := map[PolicyName]uint64{}
-		for _, pol := range policies {
-			k, ds := newNativeKernel(p, pol, false)
-			env := workloads.NewNativeEnv(k, 0)
-			env.Daemons = ds
-			env.NoRangeFault = p.NoRangeFault
-			if err := workloads.ByName(w.Name()).Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
-				return nil, fmt.Errorf("fig11 %s/%s: %w", w.Name(), pol, err)
-			}
-			clockAfterSetup := k.Clock
-			// Execution window: daemons (ranger migrations, Ingens
-			// promotions) keep running; their added time is the
-			// difference the model charges.
-			settleDaemons(k, ds, 60)
-			daemonWork := k.Clock - clockAfterSetup
-			// settleDaemons advances the clock by the idle epochs
-			// themselves; subtract that baseline so only the work time
-			// (migrations/promotions/faults) counts.
-			idle := uint64(60 * 2_100_000)
-			if daemonWork >= idle {
-				daemonWork -= idle
-			} else {
-				daemonWork = 0
-			}
-			kernelNs[pol] = clockAfterSetup + daemonWork
-			env.Exit()
+	g := newGrid(len(names), len(policies))
+	kernelNs := make([]uint64, g.size())
+	err := forEach(g.size(), p.jobs(), func(i int) error {
+		name := names[g.at(i, 0)]
+		pol := policies[g.at(i, 1)]
+		k, ds := newNativeKernel(p, pol, false)
+		env := workloads.NewNativeEnv(k, 0)
+		env.Daemons = ds
+		env.NoRangeFault = p.NoRangeFault
+		if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
+			return fmt.Errorf("fig11 %s/%s: %w", name, pol, err)
 		}
+		clockAfterSetup := k.Clock
+		// Execution window: daemons (ranger migrations, Ingens
+		// promotions) keep running; their added time is the
+		// difference the model charges.
+		settleDaemons(k, ds, 60)
+		daemonWork := k.Clock - clockAfterSetup
+		// settleDaemons advances the clock by the idle epochs
+		// themselves; subtract that baseline so only the work time
+		// (migrations/promotions/faults) counts.
+		idle := uint64(60 * 2_100_000)
+		if daemonWork >= idle {
+			daemonWork -= idle
+		} else {
+			daemonWork = 0
+		}
+		kernelNs[i] = clockAfterSetup + daemonWork
+		env.Exit()
+		recycleKernel(k)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni, name := range names {
+		w := workloads.ByName(name)
 		row := []string{w.Name()}
-		for _, pol := range policies {
+		thpNs := kernelNs[g.index(ni, 0)] // policies[0] is PolicyTHP
+		for pi := range policies {
 			row = append(row, f3(perfmodel.NormalizedRuntime(
-				w.FootprintBytes(), kernelNs[pol], kernelNs[PolicyTHP])))
+				w.FootprintBytes(), kernelNs[g.index(ni, pi)], thpNs)))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -90,10 +102,11 @@ func Table5For(p Params, names []string) (*Table, error) {
 		faults uint64
 		lats   []uint64
 	}
-	cells := make([]cellResult, len(policies)*len(names))
+	g := newGrid(len(policies), len(names))
+	cells := make([]cellResult, g.size())
 	err := forEach(len(cells), p.jobs(), func(i int) error {
-		pol := policies[i/len(names)]
-		name := names[i%len(names)]
+		pol := policies[g.at(i, 0)]
+		name := names[g.at(i, 1)]
 		k, ds := newNativeKernel(p, pol, false)
 		env := workloads.NewNativeEnv(k, 0)
 		env.Daemons = ds
@@ -101,8 +114,12 @@ func Table5For(p Params, names []string) (*Table, error) {
 		if err := workloads.ByName(name).Setup(env, rand.New(rand.NewSource(p.setupSeed()))); err != nil {
 			return fmt.Errorf("table5 %s/%s: %w", name, pol, err)
 		}
+		// Stats (and the latency slice) live on the kernel, not the
+		// machine; recycling only pools the machine, so the reference in
+		// cells stays valid.
 		cells[i] = cellResult{faults: k.Stats.TotalFaults(), lats: k.Stats.FaultLatencies}
 		env.Exit()
+		recycleKernel(k)
 		return nil
 	})
 	if err != nil {
@@ -112,7 +129,7 @@ func Table5For(p Params, names []string) (*Table, error) {
 		var faults uint64
 		var lats []uint64
 		for ni := range names {
-			c := cells[pi*len(names)+ni]
+			c := cells[g.index(pi, ni)]
 			faults += c.faults
 			lats = append(lats, c.lats...)
 		}
@@ -151,6 +168,7 @@ func Table6For(p Params, names []string) (*Table, error) {
 			overheadPct := float64(bloatBytes) / float64(touched*4096) * 100
 			row = append(row, fmt.Sprintf("%.1f (%.1f%%)", float64(bloatBytes)/(1<<20), overheadPct))
 			env.Exit()
+			recycleKernel(k)
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -6,8 +6,10 @@ import (
 
 	"repro/internal/hw/walker"
 	"repro/internal/metrics"
+	"repro/internal/osim"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
+	"repro/internal/virt"
 	"repro/internal/workloads"
 )
 
@@ -25,8 +27,11 @@ func runTranslation(p Params, name string) (translationRun, error) {
 	out := translationRun{name: name}
 	run := func(virtual bool, thp bool, policy PolicyName, schemes bool) (sim.Result, error) {
 		var env *workloads.Env
+		var vm *virt.VM
+		var k *osim.Kernel
 		if virtual {
-			vm, _, err := newVM(p, policy, policy)
+			var err error
+			vm, _, err = newVM(p, policy, policy)
 			if err != nil {
 				return sim.Result{}, err
 			}
@@ -34,7 +39,7 @@ func runTranslation(p Params, name string) (translationRun, error) {
 			vm.Host.THPEnabled = thp
 			env = workloads.NewVirtEnv(vm, 0)
 		} else {
-			k, _ := newNativeKernel(p, policy, false)
+			k, _ = newNativeKernel(p, policy, false)
 			k.THPEnabled = thp
 			env = workloads.NewNativeEnv(k, 0)
 		}
@@ -49,6 +54,13 @@ func runTranslation(p Params, name string) (translationRun, error) {
 		start = tr.Start()
 		res, err := sim.Run(env, w.Stream(rand.New(rand.NewSource(p.streamSeed())), p.StreamLen), sim.Config{EnableSchemes: schemes, NoWalkCache: p.NoWalkCache, Tracer: p.Tracer})
 		tr.EmitPhase(name+"/measure", start)
+		if err == nil {
+			if vm != nil {
+				recycleVM(vm)
+			} else {
+				recycleKernel(k)
+			}
+		}
 		return res, err
 	}
 	// The five configurations are independent simulations (each builds
@@ -177,6 +189,7 @@ func Fig14For(p Params, names []string) (*Table, error) {
 			return err
 		}
 		results[i] = res
+		recycleVM(vm)
 		return nil
 	}); err != nil {
 		return nil, err
@@ -229,6 +242,7 @@ func Table7For(p Params, names []string) (*Table, error) {
 			return err
 		}
 		ests[i] = perfmodel.EstimateUSL(res)
+		recycleVM(vm)
 		return nil
 	}); err != nil {
 		return nil, err

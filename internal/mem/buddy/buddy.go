@@ -52,6 +52,11 @@ type Buddy struct {
 	base   addr.PFN
 	npages uint64
 
+	// fs is the frame table's record slice for exactly [base,
+	// base+npages), resolved once: the per-operation paths index it
+	// directly instead of paying Get's bounds check per record touch.
+	fs []frame.Frame
+
 	// Intrusive doubly-linked free lists, one head per order. Links are
 	// 32-bit frame indices relative to base (nilLink = none) rather
 	// than full PFNs: half the link-array footprint, which is paid as
@@ -76,6 +81,11 @@ type Buddy struct {
 	sorted bool
 	hooks  Hooks
 
+	// muts counts successful state-changing operations (allocations and
+	// frees). Daemon fixed-point memos key on it to detect that a zone's
+	// free pool changed between epochs without diffing any state.
+	muts uint64
+
 	// tr, when non-nil, receives split/coalesce events tagged with zid
 	// (the owning zone's ID). Disabled tracing costs one nil check per
 	// split/merge step.
@@ -88,6 +98,30 @@ type Buddy struct {
 // that buddy pairs never straddle the managed range. All frames are
 // released to the allocator (marked free) immediately.
 func New(frames *frame.Table, base addr.PFN, npages uint64) *Buddy {
+	checkGeometry(base, npages)
+	frame.Fill(frames.Slice(base, npages), frame.Frame{State: frame.Free, BuddyOrder: -1, AllocOrder: -1})
+	return NewPrefilled(frames, base, npages)
+}
+
+// NewPrefilled is New for callers that have already filled the managed
+// range with free records (State Free, BuddyOrder/AllocOrder -1, zero
+// MapCount/Cluster) — e.g. a combined fill that also bakes in the zone
+// tag. It skips the redundant whole-range Fill New would perform.
+func NewPrefilled(frames *frame.Table, base addr.PFN, npages uint64) *Buddy {
+	checkGeometry(base, npages)
+	b := &Buddy{
+		frames: frames,
+		base:   base,
+		npages: npages,
+		fs:     frames.Slice(base, npages),
+		next:   make([]int32, npages),
+		prev:   make([]int32, npages),
+	}
+	b.reset()
+	return b
+}
+
+func checkGeometry(base addr.PFN, npages uint64) {
 	if !addr.AlignedTo(base, addr.MaxOrder) {
 		panic(fmt.Sprintf("buddy: base %d not MAX_ORDER aligned", base))
 	}
@@ -97,22 +131,32 @@ func New(frames *frame.Table, base addr.PFN, npages uint64) *Buddy {
 	if npages >= 1<<31 {
 		panic(fmt.Sprintf("buddy: npages %d exceeds 32-bit link index space", npages))
 	}
-	b := &Buddy{
-		frames: frames,
-		base:   base,
-		npages: npages,
-		next:   make([]int32, npages),
-		prev:   make([]int32, npages),
-	}
+}
+
+// Reset returns the allocator to its pristine post-New state, reusing
+// the link arrays (machine pooling). The caller must have re-filled the
+// managed range with free records first, exactly as NewPrefilled
+// requires. Hooks and tracer are detached; the sorted flag survives
+// (it is construction-time configuration) and the mutation counter
+// keeps growing (it is monotonic, never compared across resets).
+func (b *Buddy) Reset() {
+	b.hooks = Hooks{}
+	b.tr = nil
+	b.reset()
+}
+
+// reset rebuilds the free lists from a prefilled frame range.
+func (b *Buddy) reset() {
 	for o := range b.heads {
 		b.heads[o] = nilLink
 	}
-	frame.Fill(frames.Slice(base, npages), frame.Frame{State: frame.Free, BuddyOrder: -1, AllocOrder: -1})
-	for pfn := base; pfn < base+addr.PFN(npages); pfn += addr.MaxOrderPages {
+	b.freePages = 0
+	b.perOrderCount = [addr.MaxOrder + 1]uint64{}
+	b.nonEmpty = 0
+	for pfn := b.base; pfn < b.base+addr.PFN(b.npages); pfn += addr.MaxOrderPages {
 		b.listInsert(pfn, addr.MaxOrder)
 		b.freePages += addr.MaxOrderPages
 	}
-	return b
 }
 
 // SetTracer attaches (or, with nil, detaches) an event tracer; zoneID
@@ -162,6 +206,11 @@ func (b *Buddy) Pages() uint64 { return b.npages }
 // FreePages returns the number of currently free frames.
 func (b *Buddy) FreePages() uint64 { return b.freePages }
 
+// Mutations returns a counter of successful allocations and frees. It
+// only ever grows; two equal readings bracket a window with no free-pool
+// changes in this zone.
+func (b *Buddy) Mutations() uint64 { return b.muts }
+
 // FreeBlocks returns the number of free blocks of the given order.
 func (b *Buddy) FreeBlocks(order int) uint64 { return b.perOrderCount[order] }
 
@@ -209,7 +258,7 @@ func (b *Buddy) listInsert(pfn addr.PFN, order int) {
 		}
 		b.heads[order] = i
 	}
-	b.frames.Get(pfn).BuddyOrder = int8(order)
+	b.fs[i].BuddyOrder = int8(order)
 	b.perOrderCount[order]++
 	b.nonEmpty |= 1 << order
 	if order == addr.MaxOrder && b.hooks.MaxOrderInsert != nil {
@@ -230,7 +279,7 @@ func (b *Buddy) listRemove(pfn addr.PFN, order int) {
 	if b.next[i] != nilLink {
 		b.prev[b.next[i]] = b.prev[i]
 	}
-	b.frames.Get(pfn).BuddyOrder = -1
+	b.fs[i].BuddyOrder = -1
 	b.perOrderCount[order]--
 	if b.heads[order] == nilLink {
 		b.nonEmpty &^= 1 << order
@@ -238,7 +287,8 @@ func (b *Buddy) listRemove(pfn addr.PFN, order int) {
 }
 
 func (b *Buddy) markAllocated(pfn addr.PFN, order int) {
-	fs := b.frames.Slice(pfn, addr.OrderPages(order))
+	i := uint64(pfn - b.base)
+	fs := b.fs[i : i+addr.OrderPages(order)]
 	for i := range fs {
 		fs[i].State = frame.Allocated
 		fs[i].AllocOrder = -1
@@ -248,7 +298,8 @@ func (b *Buddy) markAllocated(pfn addr.PFN, order int) {
 }
 
 func (b *Buddy) markFree(pfn addr.PFN, order int) {
-	fs := b.frames.Slice(pfn, addr.OrderPages(order))
+	i := uint64(pfn - b.base)
+	fs := b.fs[i : i+addr.OrderPages(order)]
 	for i := range fs {
 		fs[i].State = frame.Free
 		fs[i].AllocOrder = -1
@@ -282,6 +333,7 @@ func (b *Buddy) AllocBlock(order int) (addr.PFN, error) {
 		}
 	}
 	b.markAllocated(pfn, order)
+	b.muts++
 	return pfn, nil
 }
 
@@ -320,6 +372,7 @@ func (b *Buddy) AllocBlockAt(pfn addr.PFN, order int) error {
 		}
 	}
 	b.markAllocated(pfn, order)
+	b.muts++
 	return nil
 }
 
@@ -327,7 +380,7 @@ func (b *Buddy) AllocBlockAt(pfn addr.PFN, order int) error {
 // the frame is free. Heads are discoverable because only the head of a
 // listed block carries BuddyOrder >= 0.
 func (b *Buddy) findFreeBlock(pfn addr.PFN) (addr.PFN, int, bool) {
-	if !b.Contains(pfn) || b.frames.Get(pfn).State != frame.Free {
+	if !b.Contains(pfn) || b.fs[pfn-b.base].State != frame.Free {
 		return 0, 0, false
 	}
 	for o := 0; o <= addr.MaxOrder; o++ {
@@ -335,7 +388,7 @@ func (b *Buddy) findFreeBlock(pfn addr.PFN) (addr.PFN, int, bool) {
 		if !b.Contains(head) {
 			return 0, 0, false
 		}
-		if b.frames.Get(head).BuddyOrder == int8(o) {
+		if b.fs[head-b.base].BuddyOrder == int8(o) {
 			return head, o, true
 		}
 	}
@@ -354,7 +407,7 @@ func (b *Buddy) FreeBlock(pfn addr.PFN, order int) {
 	b.markFree(pfn, order)
 	for order < addr.MaxOrder {
 		bud := addr.BuddyOf(pfn, order)
-		if !b.Contains(bud) || b.frames.Get(bud).BuddyOrder != int8(order) {
+		if !b.Contains(bud) || b.fs[bud-b.base].BuddyOrder != int8(order) {
 			break
 		}
 		b.listRemove(bud, order)
@@ -365,6 +418,7 @@ func (b *Buddy) FreeBlock(pfn addr.PFN, order int) {
 		}
 	}
 	b.listInsert(pfn, order)
+	b.muts++
 }
 
 // Reserve removes an arbitrary page run [pfn, pfn+npages) from the free

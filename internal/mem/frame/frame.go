@@ -81,12 +81,21 @@ type Table struct {
 // base. All frames start Reserved; zones release them to their buddy
 // allocators at boot.
 func NewTable(base addr.PFN, nframes uint64) *Table {
-	t := &Table{
+	t := NewTableUninit(base, nframes)
+	Fill(t.frames, Frame{State: Reserved, BuddyOrder: -1, AllocOrder: -1})
+	return t
+}
+
+// NewTableUninit creates a table whose records are the zero Frame value
+// rather than Reserved-filled. For callers that immediately fill every
+// covered range themselves — zone.NewMachine covers the whole table
+// with per-zone fills — the boot Reserved fill is one full table pass
+// of overwritten work.
+func NewTableUninit(base addr.PFN, nframes uint64) *Table {
+	return &Table{
 		frames: make([]Frame, nframes),
 		base:   base,
 	}
-	Fill(t.frames, Frame{State: Reserved, BuddyOrder: -1, AllocOrder: -1})
-	return t
 }
 
 // Fill sets every record in fs to f via a doubling copy: boot-time
@@ -142,12 +151,14 @@ func (t *Table) IsFree(pfn addr.PFN) bool {
 }
 
 // RangeFree reports whether all npages frames starting at pfn are free.
+// Bounds are checked once; the scan itself is a straight slice walk.
 func (t *Table) RangeFree(pfn addr.PFN, npages uint64) bool {
 	if !t.Contains(pfn) || !t.Contains(pfn+addr.PFN(npages-1)) {
 		return false
 	}
-	for i := uint64(0); i < npages; i++ {
-		if t.Get(pfn+addr.PFN(i)).State != Free {
+	i := uint64(pfn - t.base)
+	for j := range t.frames[i : i+npages] {
+		if t.frames[i+uint64(j)].State != Free {
 			return false
 		}
 	}

@@ -7,6 +7,8 @@ package zone
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"repro/internal/mem/addr"
 	"repro/internal/mem/buddy"
@@ -47,6 +49,10 @@ type Machine struct {
 	tr         *trace.Tracer
 	depthGauge [][]int
 	fragGauge  []int
+
+	// geom keys the construction pool; empty for machines that must not
+	// be pooled (shard views, which do not own their zones).
+	geom string
 }
 
 // Config describes machine geometry.
@@ -59,20 +65,61 @@ type Config struct {
 	SortedMaxOrder bool
 }
 
-// NewMachine builds a machine with consecutive zones starting at PFN 0.
+// pool holds recycled machines per geometry. Experiment grids build
+// hundreds of identical host machines back to back; reusing the frame
+// table and buddy link arrays turns construction from allocate-and-zero
+// into one fill pass. Pristine state is history-independent — every
+// byte a simulation can observe is rewritten by reset — so a pooled
+// machine is indistinguishable from a fresh one (pinned by the golden
+// tables, which exercise recycled machines on every grid driver).
+var pool = struct {
+	sync.Mutex
+	machines map[string][]*Machine
+}{machines: make(map[string][]*Machine)}
+
+// key canonicalises the construction-relevant geometry.
+func (cfg Config) key() string {
+	var sb strings.Builder
+	if cfg.SortedMaxOrder {
+		sb.WriteByte('s')
+	}
+	for _, n := range cfg.ZonePages {
+		fmt.Fprintf(&sb, ",%d", n)
+	}
+	return sb.String()
+}
+
+// NewMachine builds a machine with consecutive zones starting at PFN 0,
+// reusing a recycled machine of identical geometry when one is pooled.
 func NewMachine(cfg Config) *Machine {
 	if len(cfg.ZonePages) == 0 {
 		panic("zone: machine needs at least one zone")
 	}
+	key := cfg.key()
+	pool.Lock()
+	if ms := pool.machines[key]; len(ms) > 0 {
+		m := ms[len(ms)-1]
+		ms[len(ms)-1] = nil
+		pool.machines[key] = ms[:len(ms)-1]
+		pool.Unlock()
+		m.reset()
+		return m
+	}
+	pool.Unlock()
+
 	var total uint64
 	for _, n := range cfg.ZonePages {
 		total += n
 	}
-	ft := frame.NewTable(0, total)
-	m := &Machine{Frames: ft}
+	// Uninitialised table: the per-zone fills below cover every frame,
+	// with the zone tag baked into the fill record instead of a second
+	// per-frame pass.
+	ft := frame.NewTableUninit(0, total)
+	m := &Machine{Frames: ft, geom: key}
 	base := addr.PFN(0)
 	for i, n := range cfg.ZonePages {
-		b := buddy.New(ft, base, n)
+		zoneFill(ft, base, n, i)
+		b := buddy.NewPrefilled(ft, base, n)
 		b.SetSorted(cfg.SortedMaxOrder)
 		z := &Zone{
 			ID:     i,
@@ -81,14 +128,63 @@ func NewMachine(cfg Config) *Machine {
 			Buddy:  b,
 			Contig: contigmap.New(ft, b),
 		}
-		fs := ft.Slice(base, n)
-		for j := range fs {
-			fs[j].Zone = uint8(i)
-		}
 		m.Zones = append(m.Zones, z)
 		base += addr.PFN(n)
 	}
 	return m
+}
+
+// zoneFill resets a zone's frame records to pristine free state.
+func zoneFill(ft *frame.Table, base addr.PFN, n uint64, id int) {
+	frame.Fill(ft.Slice(base, n), frame.Frame{
+		State: frame.Free, BuddyOrder: -1, AllocOrder: -1, Zone: uint8(id),
+	})
+}
+
+// reset rebuilds pristine machine state in place.
+func (m *Machine) reset() {
+	for _, z := range m.Zones {
+		zoneFill(m.Frames, z.Base, z.Pages, z.ID)
+		z.Buddy.Reset()
+		z.Contig = contigmap.New(m.Frames, z.Buddy)
+	}
+	m.tr = nil
+	m.depthGauge, m.fragGauge = nil, nil
+}
+
+// Recycle returns the machine to the construction pool. The caller must
+// drop every reference to the machine, its zones, and its frame table:
+// the next NewMachine of the same geometry receives them reset. View
+// machines and hand-assembled machines are silently not pooled.
+func (m *Machine) Recycle() {
+	if m.geom == "" {
+		return
+	}
+	pool.Lock()
+	pool.machines[m.geom] = append(pool.machines[m.geom], m)
+	pool.Unlock()
+}
+
+// View returns a machine exposing only the named zones, sharing the
+// frame table and the zone objects themselves with the parent. A shard
+// that owns a zone subset outright steps through a view: the view's
+// zonelist scopes every allocation, free, and fit search to the owned
+// zones, so concurrently stepped shards with disjoint views never
+// touch the same buddy, contiguity map, or frame records. Views are
+// never pooled (geom stays empty; Recycle is a no-op): the parent owns
+// the substrate and must outlive every view.
+func (m *Machine) View(zoneIdx ...int) *Machine {
+	if len(zoneIdx) == 0 {
+		panic("zone: view needs at least one zone")
+	}
+	v := &Machine{Frames: m.Frames}
+	for _, i := range zoneIdx {
+		if i < 0 || i >= len(m.Zones) {
+			panic(fmt.Sprintf("zone: view index %d out of range [0,%d)", i, len(m.Zones)))
+		}
+		v.Zones = append(v.Zones, m.Zones[i])
+	}
+	return v
 }
 
 // SetTracer attaches (or, with nil, detaches) an event tracer to the
@@ -153,6 +249,17 @@ func (m *Machine) FreePages() uint64 {
 	var n uint64
 	for _, z := range m.Zones {
 		n += z.FreePages()
+	}
+	return n
+}
+
+// Mutations sums the zones' buddy mutation counters. On a shard view it
+// covers exactly the owned zones: equal readings bracket a window with
+// no free-pool changes visible to this machine.
+func (m *Machine) Mutations() uint64 {
+	var n uint64
+	for _, z := range m.Zones {
+		n += z.Buddy.Mutations()
 	}
 	return n
 }

@@ -159,3 +159,81 @@ func TestSortedMaxOrderConfig(t *testing.T) {
 		t.Fatalf("sorted machine first alloc at %d, want 0", pfn)
 	}
 }
+
+func TestViewSharesZonesWithParent(t *testing.T) {
+	m := twoZone(t)
+	v := m.View(1)
+	if len(v.Zones) != 1 || v.Zones[0] != m.Zones[1] {
+		t.Fatal("view must alias the parent's zone objects")
+	}
+	if v.Frames != m.Frames {
+		t.Fatal("view must share the parent's frame table")
+	}
+	// An allocation through the view is visible to the parent and
+	// stays inside the viewed zone.
+	pfn, err := v.AllocBlock(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Zones[1].Contains(pfn) {
+		t.Fatalf("view allocation landed at %d, outside zone 1", pfn)
+	}
+	if m.FreePages() != m.TotalPages()-1 {
+		t.Fatal("parent free count must reflect view allocations")
+	}
+	if v.FreePages() != 4*addr.MaxOrderPages-1 {
+		t.Fatalf("view free pages = %d", v.FreePages())
+	}
+	// ZoneOf through the view only resolves viewed zones.
+	if v.ZoneOf(0) != nil {
+		t.Fatal("view must not resolve frames of unviewed zones")
+	}
+	if z := v.ZoneOf(pfn); z == nil || z.ID != 1 {
+		t.Fatal("view must resolve its own zone")
+	}
+}
+
+func TestViewNeverExhaustsUnviewedZones(t *testing.T) {
+	m := twoZone(t)
+	v := m.View(0)
+	for {
+		if _, err := v.AllocBlock(0, addr.MaxOrder); err != nil {
+			break
+		}
+	}
+	if m.Zones[0].FreePages() != 0 {
+		t.Fatal("viewed zone should be exhausted")
+	}
+	if m.Zones[1].FreePages() != 4*addr.MaxOrderPages {
+		t.Fatal("view must never touch unviewed zones")
+	}
+}
+
+func TestViewRecycleIsNoOp(t *testing.T) {
+	m := twoZone(t)
+	v := m.View(0)
+	if _, err := v.AllocBlock(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	v.Recycle() // views have no geometry key; must not enter the pool
+	// A fresh machine with the view's shape must not hand back the
+	// dirty view state.
+	m2 := NewMachine(Config{ZonePages: []uint64{4 * addr.MaxOrderPages}})
+	if m2.FreePages() != m2.TotalPages() {
+		t.Fatal("recycled view leaked into the machine pool")
+	}
+}
+
+func TestViewPanicsOnBadIndex(t *testing.T) {
+	m := twoZone(t)
+	for _, idx := range [][]int{nil, {2}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("View(%v) should panic", idx)
+				}
+			}()
+			m.View(idx...)
+		}()
+	}
+}

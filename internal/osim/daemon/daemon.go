@@ -27,6 +27,30 @@ import (
 	"repro/internal/trace"
 )
 
+// fixpoint memoises "this daemon's last epoch changed nothing, and no
+// input it reads has changed since". Every decision either daemon makes
+// is a pure function of process state (VMAs, touch bitmaps, page
+// tables — bracketed by Kernel.StateSeq) and the machine's free pool
+// (bracketed by the buddy mutation counters), so an epoch at an
+// unchanged key must repeat the previous epoch's no-op exactly and can
+// be skipped outright. Epochs that migrated or promoted do not settle:
+// they may be budget- or allocation-limited and must re-run.
+type fixpoint struct {
+	valid bool
+	seq   uint64
+	muts  uint64
+}
+
+func (f *fixpoint) settled(k *osim.Kernel) bool {
+	return f.valid && f.seq == k.StateSeq() && f.muts == k.Machine.Mutations()
+}
+
+func (f *fixpoint) record(k *osim.Kernel, noop bool) {
+	f.valid = noop
+	f.seq = k.StateSeq()
+	f.muts = k.Machine.Mutations()
+}
+
 // Ingens is the asynchronous huge-page promotion daemon.
 type Ingens struct {
 	Kernel *osim.Kernel
@@ -35,8 +59,11 @@ type Ingens struct {
 	// UtilThreshold is the fraction (0..1] of touched pages a 2 MiB
 	// region needs before promotion (paper default 0.9).
 	UtilThreshold float64
+	// NoFixpoint disables the settled-epoch skip (equivalence tests).
+	NoFixpoint bool
 
 	lastRun uint64
+	fp      fixpoint
 }
 
 // NewIngens creates the daemon with the defaults used in evaluation and
@@ -75,8 +102,15 @@ func (d *Ingens) MaybeN(n uint64) {
 	}
 }
 
-// Scan promotes every eligible huge region of every process.
+// Scan promotes every eligible huge region of every process. A scan
+// whose inputs are unchanged since a zero-promotion scan is skipped
+// (see fixpoint); this keeps long settle phases O(1) per epoch once
+// the address space stops changing.
 func (d *Ingens) Scan() {
+	if !d.NoFixpoint && d.fp.settled(d.Kernel) {
+		return
+	}
+	before := d.Kernel.Stats.Promotions
 	for _, p := range d.Kernel.Processes() {
 		p.VMAs.Visit(func(v *vma.VMA) {
 			if v.Kind != vma.Anonymous {
@@ -85,6 +119,7 @@ func (d *Ingens) Scan() {
 			d.scanVMA(p, v)
 		})
 	}
+	d.fp.record(d.Kernel, d.Kernel.Stats.Promotions == before)
 }
 
 func (d *Ingens) scanVMA(p *osim.Process, v *vma.VMA) {
@@ -164,8 +199,11 @@ type Ranger struct {
 	Period uint64
 	// PagesPerEpoch bounds migration work per epoch (rate limiting).
 	PagesPerEpoch uint64
+	// NoFixpoint disables the settled-epoch skip (equivalence tests).
+	NoFixpoint bool
 
 	lastRun uint64
+	fp      fixpoint
 	// plans holds the per-VMA defragmentation plan chosen on first
 	// scan: the VMA is carved into segments assigned to the largest
 	// free clusters (largest-first), and pages migrate toward their
@@ -219,11 +257,15 @@ func (d *Ranger) MaybeN(n uint64) {
 // behaviour the paper calls out as penalising Ranger's response time
 // (Fig. 10).
 func (d *Ranger) Epoch() {
+	if !d.NoFixpoint && d.fp.settled(d.Kernel) {
+		return
+	}
+	before := d.Kernel.Stats.Migrations
 	d.sweepPlans()
 	budget := d.PagesPerEpoch
 	for _, p := range d.Kernel.Processes() {
 		if budget == 0 {
-			return
+			break
 		}
 		p.VMAs.Visit(func(v *vma.VMA) {
 			if v.Kind != vma.Anonymous || budget == 0 {
@@ -232,6 +274,9 @@ func (d *Ranger) Epoch() {
 			budget = d.defragVMA(p, v, budget)
 		})
 	}
+	// A migrating epoch is budget-limited, not converged: only an epoch
+	// that moved nothing settles the memo.
+	d.fp.record(d.Kernel, d.Kernel.Stats.Migrations == before)
 }
 
 // sweepPlans drops plan entries whose VMA is no longer attached to any
@@ -272,40 +317,38 @@ func (d *Ranger) defragVMA(p *osim.Process, v *vma.VMA, budget uint64) uint64 {
 	if len(plan) == 0 {
 		return budget
 	}
-	type leafInfo struct {
-		va    addr.VirtAddr
-		pfn   addr.PFN
-		pages uint64
-	}
-	var leaves []leafInfo
-	p.PT.Visit(func(l pagetable.Leaf) {
-		if l.VA >= v.Start && l.VA < v.End {
-			leaves = append(leaves, leafInfo{l.VA, l.PTE.PFN, l.Pages})
+	// Scan the VMA's leaves in place with a range-bounded walk: the only
+	// mutation inside the loop is MigratePage, whose Redirect rewrites a
+	// leaf's frame without adding or removing slots, so the in-order walk
+	// stays well-defined and visits the exact leaf sequence the old
+	// snapshot-then-act loop saw. Stopping at budget exhaustion (instead
+	// of snapshotting the whole footprint first) makes a rate-limited
+	// epoch O(converged prefix + budget), not O(footprint).
+	p.PT.VisitRange(v.Start, v.End, func(l pagetable.Leaf) bool {
+		if budget < l.Pages {
+			budget = 0
+			return false
 		}
-	})
-	for _, l := range leaves {
-		if budget < l.pages {
-			return 0
-		}
-		page := uint64(l.va-v.Start) / addr.PageSize
+		page := uint64(l.VA-v.Start) / addr.PageSize
 		want, covered := planTarget(plan, page)
-		if !covered || l.pfn == want {
-			continue // unplanned tail or already in place
+		if !covered || l.PTE.PFN == want {
+			return true // unplanned tail or already in place
 		}
-		order := addr.LeafOrder(l.pages)
+		order := addr.LeafOrder(l.Pages)
 		// The target slot must be free; Ranger iterates, so slots
 		// occupied by other pages of this VMA resolve in later epochs
 		// once those migrate away. (Real Ranger exchanges pages; the
 		// iterative converge-over-epochs behaviour is the same.)
 		if err := k.Machine.AllocBlockAt(want, order); err != nil {
-			continue
+			return true
 		}
-		if !k.MigratePage(p, l.va, want) {
+		if !k.MigratePage(p, l.VA, want) {
 			k.Machine.FreeBlock(want, order)
-			continue
+			return true
 		}
-		budget -= l.pages
-	}
+		budget -= l.Pages
+		return true
+	})
 	return budget
 }
 

@@ -23,6 +23,9 @@ func (p *Process) Touch(va addr.VirtAddr, write bool) (bool, error) {
 // range-fault path hoists the VMA lookup out of its per-page loop. v
 // must be the VMA containing va.
 func (p *Process) TouchAt(v *vma.VMA, va addr.VirtAddr, write bool) (bool, error) {
+	// Touch-bitmap and Accessed/Dirty writes feed Ingens' utilization
+	// probe, so even faultless touches invalidate daemon memos.
+	p.kernel.mutSeq++
 	v.MarkTouched(uint64(va-v.Start) / addr.PageSize)
 	pte := p.lastLeaf
 	if pte == nil || p.lastLeafGen != p.PT.Generation() ||
@@ -118,6 +121,7 @@ func (p *Process) TouchRangeQuiet(v *vma.VMA, va addr.VirtAddr, maxPages uint64,
 	}
 	if done > 0 {
 		v.MarkTouchedRange(uint64(va-v.Start)/addr.PageSize, done)
+		p.kernel.mutSeq++
 	}
 	return done
 }
@@ -203,6 +207,7 @@ func (k *Kernel) cowFault(p *Process, v *vma.VMA, va addr.VirtAddr) error {
 // child.
 func (p *Process) Fork() *Process {
 	k := p.kernel
+	k.mutSeq++
 	child := k.NewProcess(p.HomeZone)
 	child.nextVA = p.nextVA
 	p.VMAs.Visit(func(v *vma.VMA) {
@@ -297,6 +302,7 @@ func (k *Kernel) MigratePage(p *Process, va addr.VirtAddr, dst addr.PFN) bool {
 	if !ok {
 		return false
 	}
+	k.mutSeq++
 	old := pte.PFN
 	order := addr.LeafOrder(pages)
 	// Redirect (not a raw pte.PFN write): migration changes the

@@ -167,6 +167,12 @@ type Kernel struct {
 	// concurrent kernels must not perturb each other's selections.
 	eagerRotor uint64
 
+	// mutSeq counts kernel-visible state mutations: faults, VMA churn,
+	// touch-bitmap/flag writes, migrations, forks. Together with the
+	// machine's buddy mutation counters it brackets windows in which a
+	// daemon's inputs cannot have changed (the fixed-point memo key).
+	mutSeq uint64
+
 	procs  []*Process
 	nextID int
 }
@@ -186,6 +192,16 @@ func NewKernel(m *zone.Machine, p Placement) *Kernel {
 
 // Tick advances the logical clock by ns.
 func (k *Kernel) Tick(ns uint64) { k.Clock += ns }
+
+// StateSeq returns the kernel's mutation counter. Two equal readings
+// (combined with equal Machine buddy mutation counts) bracket a window
+// in which no process state a daemon reads can have changed.
+func (k *Kernel) StateSeq() uint64 { return k.mutSeq }
+
+// BumpStateSeq advances the mutation counter; external mutators (daemon
+// promotions writing page tables directly) call it so fixed-point memos
+// never cache across their changes.
+func (k *Kernel) BumpStateSeq() { k.mutSeq++ }
 
 // SetTracer attaches (or, with nil, detaches) an event tracer to the
 // kernel and its machine (buddy allocators, depth gauges).
@@ -246,6 +262,7 @@ func (p *Process) MMapFile(f *File, off, size uint64) (*vma.VMA, error) {
 }
 
 func (p *Process) mmap(size uint64, kind vma.Kind, fileID int, fileOff uint64) (*vma.VMA, error) {
+	p.kernel.mutSeq++
 	size = addr.BytesToPages(size) * addr.PageSize
 	start := p.nextVA
 	// Leave an unmapped guard gap of deterministic but irregular size
@@ -277,6 +294,7 @@ func (p *Process) mmap(size uint64, kind vma.Kind, fileID int, fileOff uint64) (
 // frames stay in the cache (they outlive processes, §III-C).
 func (p *Process) MUnmap(v *vma.VMA) {
 	k := p.kernel
+	k.mutSeq++
 	for va := v.Start; va < v.End; {
 		pte, pages, ok := p.PT.Unmap(va)
 		if !ok {
@@ -297,6 +315,7 @@ func (p *Process) MUnmap(v *vma.VMA) {
 
 // Exit tears down every VMA of the process.
 func (p *Process) Exit() {
+	p.kernel.mutSeq++
 	var all []*vma.VMA
 	p.VMAs.Visit(func(v *vma.VMA) { all = append(all, v) })
 	for _, v := range all {
@@ -322,7 +341,16 @@ var faultEvent = [numFaultKinds]trace.Kind{
 
 // recordFault charges a fault of the given kind and latency at va.
 func (k *Kernel) recordFault(kind FaultKind, va addr.VirtAddr, latNs uint64) {
+	k.mutSeq++
 	k.Stats.Faults[kind]++
+	// Grow the latency log by doubling: the runtime's ~1.25x growth for
+	// large slices re-copies a million-fault log often enough to show up
+	// in whole-sweep profiles.
+	if lats := k.Stats.FaultLatencies; len(lats) == cap(lats) {
+		grown := make([]uint64, len(lats), max(4096, 2*cap(lats)))
+		copy(grown, lats)
+		k.Stats.FaultLatencies = grown
+	}
 	k.Stats.FaultLatencies = append(k.Stats.FaultLatencies, latNs)
 	k.Tick(latNs)
 	if k.Tracer != nil {

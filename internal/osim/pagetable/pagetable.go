@@ -461,3 +461,50 @@ func (t *Table) visit(n *node, level int, base addr.VirtAddr, fn func(Leaf)) {
 		}
 	}
 }
+
+// VisitRange walks the leaves whose start VA falls in [lo, hi), in
+// ascending order, descending only into subtrees that overlap the
+// window. fn returning false stops the walk; VisitRange reports whether
+// it ran to completion. Unlike the snapshot-then-act pattern, fn may
+// mutate the leaf it is handed through structure-preserving operations
+// (in-place flag writes, Redirect) — those never add or remove slots,
+// so the in-order walk stays well-defined.
+func (t *Table) VisitRange(lo, hi addr.VirtAddr, fn func(Leaf) bool) bool {
+	if lo >= hi {
+		return true
+	}
+	return t.visitRange(t.root, t.top, 0, lo, hi, fn)
+}
+
+func (t *Table) visitRange(n *node, level int, base addr.VirtAddr, lo, hi addr.VirtAddr, fn func(Leaf) bool) bool {
+	span := addr.VirtAddr(1) << (addr.PageShift + uint(level)*fanoutBits)
+	first, last := 0, fanout-1
+	if lo > base {
+		first = int((lo - base) / span)
+	}
+	if end := base + addr.VirtAddr(fanout)*span; hi < end {
+		last = int((hi - 1 - base) / span)
+	}
+	for i := first; i <= last; i++ {
+		va := base + addr.VirtAddr(i)*span
+		switch {
+		case level == HugeLevel && n.huge[i]:
+			if va >= lo && n.leaves[i].Present() {
+				if !fn(Leaf{VA: va, PTE: n.leaves[i], Pages: 512}) {
+					return false
+				}
+			}
+		case level == 0:
+			if va >= lo && n.leaves[i].Present() {
+				if !fn(Leaf{VA: va, PTE: n.leaves[i], Pages: 1}) {
+					return false
+				}
+			}
+		case n.children[i] != nil:
+			if !t.visitRange(n.children[i], level-1, va, lo, hi, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}

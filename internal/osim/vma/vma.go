@@ -111,12 +111,28 @@ func (v *VMA) MarkTouchedRange(pageIdx, n uint64) {
 	if v.touched == nil {
 		v.touched = make([]uint64, (v.Pages()+63)/64)
 	}
-	for i := pageIdx; i < end; i++ {
-		w, b := i/64, i%64
-		if v.touched[w]&(1<<b) == 0 {
-			v.touched[w] |= 1 << b
-			v.touchedPages++
+	// Word-at-a-time: OR a mask per word and popcount the newly set
+	// bits, instead of a test-and-set per page.
+	set := func(w, mask uint64) {
+		if add := mask &^ v.touched[w]; add != 0 {
+			v.touched[w] |= add
+			v.touchedPages += uint64(bits.OnesCount64(add))
 		}
+	}
+	i := pageIdx
+	if r := i % 64; r != 0 {
+		span := 64 - r
+		if span > end-i {
+			span = end - i
+		}
+		set(i/64, (1<<span-1)<<r)
+		i += span
+	}
+	for ; i+64 <= end; i += 64 {
+		set(i/64, ^uint64(0))
+	}
+	if i < end {
+		set(i/64, 1<<(end-i)-1)
 	}
 }
 

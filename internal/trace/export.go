@@ -20,6 +20,11 @@ const (
 	laneSim
 	lanePhase
 	laneAging
+
+	// laneShardBase is where the dynamic per-shard lanes start: shard s
+	// of a sharded aging campaign renders at tid laneShardBase+s, named
+	// "shard<s>". Kept clear of the fixed lanes above.
+	laneShardBase = 32
 )
 
 var laneNames = map[int]string{
@@ -49,6 +54,9 @@ var kindLane = [numKinds]int{
 	EvNestedFault: laneVirt,
 	EvSimBatch:    laneSim, EvPhase: lanePhase,
 	EvAgingSnapshot: laneAging,
+	// EvShardEpoch is re-homed per event onto laneShardBase+shard in
+	// the exporter; EvShardBarrier stays on the aging lane.
+	EvShardEpoch: laneAging, EvShardBarrier: laneAging,
 }
 
 // kindArgs names each kind's A/B/C arguments for the Chrome export;
@@ -81,6 +89,8 @@ var kindArgs = [numKinds][3]string{
 	EvSimBatch:       {"n", "misses", "faults"},
 	EvPhase:          {"", "", ""},
 	EvAgingSnapshot:  {"step", "rss_pages", "frag_permille"},
+	EvShardEpoch:     {"shard", "step", "clock"},
+	EvShardBarrier:   {"step", "retried", "clock"},
 }
 
 // spanKinds are exported as Chrome "X" (complete) events with a
@@ -89,6 +99,7 @@ var spanKinds = map[Kind]bool{
 	EvIngensEpoch: true, EvRangerEpoch: true,
 	EvWalkNative: true, EvWalk2D: true,
 	EvSimBatch: true, EvPhase: true,
+	EvShardEpoch: true, EvShardBarrier: true,
 }
 
 // counterKinds are exported as Chrome "C" (counter) events so Perfetto
@@ -155,6 +166,21 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		phases := append([]string(nil), t.phases...)
 		t.mu.Unlock()
 
+		// Shard epoch spans get one dynamic lane per shard; name every
+		// lane the trace actually uses before emitting events.
+		shards := -1
+		for _, e := range events {
+			if e.Kind == EvShardEpoch && int(e.A) > shards {
+				shards = int(e.A)
+			}
+		}
+		for s := 0; s <= shards; s++ {
+			if err := put(chromeEvent{Name: "thread_name", Ph: "M", PID: 1, TID: laneShardBase + s,
+				Args: map[string]any{"name": fmt.Sprintf("shard%d", s)}}); err != nil {
+				return err
+			}
+		}
+
 		for _, e := range events {
 			ce := chromeEvent{
 				Name: e.Kind.String(),
@@ -163,6 +189,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				TS:   e.TS,
 				PID:  1,
 				TID:  kindLane[e.Kind],
+			}
+			if e.Kind == EvShardEpoch {
+				ce.TID = laneShardBase + int(e.A)
 			}
 			switch {
 			case counterKinds[e.Kind]:

@@ -239,3 +239,64 @@ func TestCounterText(t *testing.T) {
 		t.Errorf("nil text = %q", nilBuf.String())
 	}
 }
+
+// TestChromeTraceShardLanes checks the sharded-campaign export: each
+// shard's epoch spans land on a dynamic per-shard lane with a
+// "shard<N>" thread_name, while barrier spans stay on the aging lane.
+func TestChromeTraceShardLanes(t *testing.T) {
+	tr := New()
+	for step := uint64(0); step < 2; step++ {
+		for shard := uint64(0); shard < 3; shard++ {
+			tr.EmitSpan(EvShardEpoch, tr.Start(), shard, step, 1000*(step+1))
+		}
+		tr.EmitSpan(EvShardBarrier, tr.Start(), step, 0, 1000*(step+1)+500)
+	}
+
+	doc := exportChrome(t, tr)
+
+	names := map[int]string{} // tid -> thread_name metadata
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			names[e.TID], _ = e.Args["name"].(string)
+		}
+	}
+	epochs, barriers := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e.Name {
+		case "shard.epoch":
+			epochs++
+			shard, ok := e.Args["shard"].(float64)
+			if !ok {
+				t.Fatalf("shard.epoch missing shard arg: %+v", e)
+			}
+			wantTID := laneShardBase + int(shard)
+			if e.TID != wantTID {
+				t.Errorf("shard %v epoch on tid %d, want %d", shard, e.TID, wantTID)
+			}
+			if want := "shard" + strconv.Itoa(int(shard)); names[e.TID] != want {
+				t.Errorf("tid %d named %q, want %q", e.TID, names[e.TID], want)
+			}
+		case "shard.barrier":
+			barriers++
+			if e.TID >= laneShardBase {
+				t.Errorf("barrier span leaked onto a shard lane (tid %d)", e.TID)
+			}
+		}
+	}
+	if epochs != 6 || barriers != 2 {
+		t.Fatalf("epochs=%d barriers=%d, want 6 and 2", epochs, barriers)
+	}
+}
+
+// TestChromeTraceNoShardLanesWithoutShards pins that non-sharded
+// traces emit no shard thread metadata at all.
+func TestChromeTraceNoShardLanesWithoutShards(t *testing.T) {
+	tr := New()
+	tr.Emit(EvFault4K, 0x1000, 600, 5000)
+	doc := exportChrome(t, tr)
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" && e.Name == "thread_name" && e.TID >= laneShardBase {
+			t.Fatalf("unexpected shard lane metadata: %+v", e)
+		}
+	}
+}

@@ -100,6 +100,14 @@ const (
 	// rss_pages, frag_permille); the full per-snapshot state rides the
 	// "aging.*" gauges sampled at the same instant.
 	EvAgingSnapshot
+	// EvShardEpoch spans one shard's parallel epoch step of a sharded
+	// aging campaign (shard, step, clock_ns). The Chrome exporter
+	// renders each shard on its own lane.
+	EvShardEpoch
+	// EvShardBarrier spans the serial epoch barrier that merges
+	// cross-shard effects — deferred OOM reclaim and page-cache churn —
+	// in shard-index order (step, retried, clock_ns).
+	EvShardBarrier
 
 	numKinds
 )
@@ -118,6 +126,7 @@ var kindNames = [numKinds]string{
 	"nested.fault",
 	"sim.batch", "phase",
 	"aging.snapshot",
+	"shard.epoch", "shard.barrier",
 }
 
 // String returns the stable event-kind name.
