@@ -16,7 +16,12 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/experiments"
+	"repro/internal/mem/addr"
+	"repro/internal/mem/zone"
+	"repro/internal/osim"
+	"repro/internal/workloads"
 )
 
 // runDriver executes an experiment driver b.N times under default
@@ -276,5 +281,86 @@ func BenchmarkExtraFiveLevel(b *testing.B) {
 	tab := runDriverWith(b, reducedStream(600_000), experiments.ExtraFiveLevel)
 	if row := findRow(tab, "5"); row != nil {
 		b.ReportMetric(metric(row[1]), "5level-vthp-pct")
+	}
+}
+
+// --- audit engine (DESIGN.md §12) ---
+
+// auditFixture builds a machine with populated anonymous mappings and
+// page-cache residency in every zone — the state the flat-array audit
+// engine gathers and sweeps. zoneBlocks gives each zone's size in
+// MAX_ORDER blocks.
+func auditFixture(tb testing.TB, zoneBlocks []uint64) (*zone.Machine, *osim.Kernel) {
+	tb.Helper()
+	zp := make([]uint64, len(zoneBlocks))
+	for i, n := range zoneBlocks {
+		zp[i] = n * addr.MaxOrderPages
+	}
+	m := zone.NewMachine(zone.Config{ZonePages: zp})
+	k := osim.NewKernel(m, osim.DefaultPolicy{})
+	for i := range zp {
+		env := workloads.NewNativeEnv(k, i)
+		v, err := env.MMap(4 << 20)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if err := env.Populate(v); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	f := k.Cache.CreateFile(2 << 20)
+	if err := k.Cache.Read(f, 0, 2<<20); err != nil {
+		tb.Fatal(err)
+	}
+	return m, k
+}
+
+// TestAuditorZeroAllocs pins the audit arena's steady-state contract: a
+// warm Auditor re-auditing a settled machine performs zero heap
+// allocations. The single-zone machine keeps the check strict — the
+// multi-zone fan-out spawns goroutines, whose stacks the runtime may
+// count as allocations.
+func TestAuditorZeroAllocs(t *testing.T) {
+	m, k := auditFixture(t, []uint64{8})
+	a := check.NewAuditor(m)
+	if err := a.Audit(k, nil); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := a.Audit(k, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("warm Auditor.Audit allocates %v per run, want 0", avg)
+	}
+}
+
+// BenchmarkAuditKernels measures the audit engine itself on a small
+// machine and on one the size of the figAging campaign host (2 NUMA
+// zones x 160 MAX_ORDER blocks), where the flat-array sweep replaced
+// the map-based accounting that dominated campaign runtime.
+func BenchmarkAuditKernels(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		blocks []uint64
+	}{
+		{"small-1x8", []uint64{8}},
+		{"campaign-2x160", []uint64{160, 160}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			m, k := auditFixture(b, tc.blocks)
+			a := check.NewAuditor(m)
+			if err := a.Audit(k, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := a.Audit(k, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

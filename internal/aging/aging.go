@@ -217,6 +217,12 @@ type Campaign struct {
 	rng  *rand.Rand
 	zipf *rand.Zipf
 
+	// auditor is the campaign's reusable audit arena: one flat-array
+	// Auditor held for the whole run, so the periodic whole-machine
+	// audits reuse their PFN-indexed scratch across snapshots instead
+	// of rebuilding hash maps at every audit.
+	auditor *check.Auditor
+
 	tenants  []*tenant
 	arrivals int // total tenants ever admitted (round-robins zones)
 
@@ -275,11 +281,12 @@ func New(k *osim.Kernel, ds []workloads.Daemon, cfg Config) *Campaign {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	span := cfg.MaxFootprintPages - cfg.MinFootprintPages
 	c := &Campaign{
-		k:    k,
-		ds:   ds,
-		cfg:  cfg,
-		rng:  rng,
-		zipf: rand.NewZipf(rng, cfg.ZipfS, 1, span),
+		k:       k,
+		ds:      ds,
+		cfg:     cfg,
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, cfg.ZipfS, 1, span),
+		auditor: check.NewAuditor(k.Machine),
 	}
 	t := k.Tracer
 	c.gaugeIDs.tenants = t.Gauge("aging.tenants")
@@ -349,7 +356,7 @@ func (c *Campaign) Run() (*Trajectory, error) {
 		snaps++
 		tr.Snapshots = append(tr.Snapshots, c.snapshot(step))
 		if c.cfg.AuditEvery > 0 && snaps%c.cfg.AuditEvery == 0 {
-			if err := check.Audit(c.k, c.cfg.Pinned); err != nil {
+			if err := c.auditor.Audit(c.k, c.cfg.Pinned); err != nil {
 				return tr, fmt.Errorf("aging: audit after step %d: %w", step, err)
 			}
 		}
@@ -360,7 +367,7 @@ func (c *Campaign) Run() (*Trajectory, error) {
 		c.exitTenant(len(c.tenants) - 1)
 	}
 	workloads.SettleDaemons(c.k, c.ds, c.cfg.SettleEpochs)
-	if err := check.Audit(c.k, c.cfg.Pinned); err != nil {
+	if err := c.auditor.Audit(c.k, c.cfg.Pinned); err != nil {
 		return tr, fmt.Errorf("aging: final audit: %w", err)
 	}
 	return tr, nil
@@ -477,11 +484,16 @@ func (c *Campaign) snapshot(step int) Snapshot {
 // snapshot (the caller provides the per-stream ones), refreshes the
 // campaign gauges, and emits the snapshot event plus a counter sample.
 func (c *Campaign) emitSnapshot(s Snapshot) Snapshot {
-	hist := metrics.FreeOrderHistogram(func(fn func(pfn addr.PFN, order int)) {
-		for _, z := range c.k.Machine.Zones {
-			z.Buddy.VisitFreeBlocks(fn)
+	// Sum the buddies' per-order counters instead of walking every free
+	// block: snapshots are on the campaign hot path, and the counter read
+	// is O(orders) where the visitor was O(free blocks).
+	var hist [addr.MaxOrder + 1]uint64
+	for _, z := range c.k.Machine.Zones {
+		oc := z.Buddy.OrderCounts()
+		for o, n := range oc {
+			hist[o] += n
 		}
-	})
+	}
 	ufi2m := metrics.UnusableFreeIndex(hist, addr.HugeOrder)
 	s.CachePages = c.k.Cache.ResidentPages
 	s.FreePages = c.k.Machine.FreePages()
@@ -772,5 +784,5 @@ func (c *Campaign) auditSharded() error {
 	for _, s := range c.shards {
 		ks = append(ks, s.k)
 	}
-	return check.AuditKernels(c.k.Machine, ks, c.cfg.Pinned)
+	return c.auditor.AuditKernels(c.k.Machine, ks, c.cfg.Pinned)
 }

@@ -1,15 +1,17 @@
 package check
 
 import (
-	"fmt"
+	"sync"
 
-	"repro/internal/mem/addr"
-	"repro/internal/mem/frame"
 	"repro/internal/mem/zone"
 	"repro/internal/osim"
-	"repro/internal/osim/pagetable"
-	"repro/internal/osim/vma"
 )
+
+// auditors recycles audit arenas for the package-level wrappers, so
+// even one-shot callers (the op machine's CheckAll, ad-hoc test audits)
+// pay the flat-array engine's allocation cost only once per P instead
+// of once per audit. Arenas regrow to the largest machine they see.
+var auditors = sync.Pool{New: func() any { return &Auditor{} }}
 
 // Audit is the deep cross-layer consistency pass over one kernel: it
 // ties frame ownership to PTE mappings, buddy free lists, contiguity-map
@@ -21,7 +23,9 @@ import (
 // mapping: boot reservations and memory-hog chunks.
 //
 // Audit only reads; it is safe to call between any two kernel
-// operations, from any test.
+// operations, from any test. Repeated callers (aging campaigns) should
+// hold their own Auditor instead and call its Audit method: the arena
+// is then reused across snapshots with zero steady-state allocation.
 func Audit(k *osim.Kernel, pinned []Extent) error {
 	return AuditKernels(k.Machine, []*osim.Kernel{k}, pinned)
 }
@@ -36,146 +40,8 @@ func Audit(k *osim.Kernel, pinned []Extent) error {
 // cached by the parent is accounted once from each. The kernels must
 // be quiesced (no concurrent stepping) for the duration of the call.
 func AuditKernels(m *zone.Machine, ks []*osim.Kernel, pinned []Extent) error {
-	// Layer-local structural invariants first: buddy list structure and
-	// the contiguity map riding the MAX_ORDER lists, per zone, plus
-	// free-count agreement between the frame table and the buddy.
-	for _, z := range m.Zones {
-		if err := z.Buddy.CheckInvariants(); err != nil {
-			return fmt.Errorf("zone %d: buddy: %w", z.ID, err)
-		}
-		if err := z.Contig.CheckInvariants(z.Buddy); err != nil {
-			return fmt.Errorf("zone %d: contigmap: %w", z.ID, err)
-		}
-		var free uint64
-		for _, f := range m.Frames.Slice(z.Base, z.Pages) {
-			switch f.State {
-			case frame.Free:
-				free++
-			case frame.Reserved:
-				// Zone frames are only ever Free or Allocated (boot
-				// reservations go through Buddy.Reserve, which
-				// allocates); Reserved marks frames outside any zone.
-				return fmt.Errorf("zone %d: frame in Reserved state inside a zone", z.ID)
-			}
-		}
-		if free != z.Buddy.FreePages() {
-			return fmt.Errorf("zone %d: frame table has %d free frames, buddy says %d", z.ID, free, z.Buddy.FreePages())
-		}
-	}
-
-	// Gather every reference the kernels' software structures hold on
-	// physical frames: page-table leaves (the leaf head frame carries
-	// one MapCount per referencing leaf; interior frames of a huge leaf
-	// carry none but are spanned), and page-cache residency (the cache
-	// owns one reference per cached page).
-	refs := make(map[addr.PFN]int32)
-	span := make(map[addr.PFN]bool)
-	for _, k := range ks {
-		for _, p := range k.Processes() {
-			if err := auditProcess(m, p, refs, span); err != nil {
-				return fmt.Errorf("process %d: %w", p.ID, err)
-			}
-		}
-		k.Cache.VisitCached(func(_ *osim.File, _ uint64, pfn addr.PFN) {
-			refs[pfn]++
-			span[pfn] = true
-		})
-	}
-
-	pinnedSet := make(map[addr.PFN]bool)
-	for _, e := range pinned {
-		for i := uint64(0); i < e.Pages; i++ {
-			pinnedSet[addr.PFN(e.PFN+i)] = true
-		}
-	}
-
-	// Frame sweep: MapCount must equal the gathered reference count
-	// exactly, free frames must be untouched by any structure, and
-	// every allocated-but-unreferenced, unspanned frame must be a
-	// declared pin — in both directions (a pinned frame that is free,
-	// mapped, or spanned is equally a bug: a double free or a placement
-	// policy handing out pinned memory).
-	for _, z := range m.Zones {
-		for i := uint64(0); i < z.Pages; i++ {
-			pfn := z.Base + addr.PFN(i)
-			f := m.Frames.Get(pfn)
-			if f.MapCount != refs[pfn] {
-				return fmt.Errorf("frame %d: MapCount %d but %d live references", pfn, f.MapCount, refs[pfn])
-			}
-			switch f.State {
-			case frame.Free:
-				if refs[pfn] != 0 || span[pfn] {
-					return fmt.Errorf("frame %d: free but referenced by a mapping or the page cache", pfn)
-				}
-				if pinnedSet[pfn] {
-					return fmt.Errorf("frame %d: declared pinned but free (double free of a pin?)", pfn)
-				}
-			case frame.Allocated:
-				orphan := refs[pfn] == 0 && !span[pfn]
-				if orphan && !pinnedSet[pfn] {
-					return fmt.Errorf("frame %d: allocated, unmapped, uncached, and not a declared pin (leaked frame)", pfn)
-				}
-				if !orphan && pinnedSet[pfn] {
-					return fmt.Errorf("frame %d: declared pinned but referenced by a mapping or the page cache", pfn)
-				}
-			}
-		}
-	}
-	return nil
-}
-
-// auditProcess checks one process's translation/VMA/RSS accounting and
-// accumulates its frame references into refs/span. m is the union
-// machine, which may be wider than the process's own kernel's view.
-func auditProcess(m *zone.Machine, p *osim.Process, refs map[addr.PFN]int32, span map[addr.PFN]bool) error {
-	perVMA := make(map[*vma.VMA]uint64)
-	var total uint64
-	var bad error
-	p.PT.Visit(func(l pagetable.Leaf) {
-		refs[l.PTE.PFN]++
-		for i := uint64(0); i < l.Pages; i++ {
-			span[l.PTE.PFN+addr.PFN(i)] = true
-		}
-		total += l.Pages
-		if bad != nil {
-			return
-		}
-		if !m.Frames.Contains(l.PTE.PFN) {
-			bad = fmt.Errorf("leaf %s maps PFN %d outside the machine", l.VA, l.PTE.PFN)
-			return
-		}
-		v := p.VMAs.Find(l.VA)
-		if v == nil {
-			bad = fmt.Errorf("leaf %s mapped outside any VMA", l.VA)
-			return
-		}
-		if end := l.VA.Add(l.Pages * addr.PageSize); end > v.End {
-			bad = fmt.Errorf("leaf %s (%d pages) overhangs its VMA end %s", l.VA, l.Pages, v.End)
-			return
-		}
-		perVMA[v] += l.Pages
-	})
-	if bad != nil {
-		return bad
-	}
-	if total != p.PT.MappedPages() {
-		return fmt.Errorf("leaf sweep counts %d pages, MappedPages says %d", total, p.PT.MappedPages())
-	}
-	if total != p.RSSPages {
-		return fmt.Errorf("page table maps %d pages but RSS charges %d", total, p.RSSPages)
-	}
-	var vmaErr error
-	p.VMAs.Visit(func(v *vma.VMA) {
-		if vmaErr == nil && perVMA[v] != v.MappedPages {
-			vmaErr = fmt.Errorf("VMA %s-%s: MappedPages %d but %d leaf pages inside it", v.Start, v.End, v.MappedPages, perVMA[v])
-		}
-		delete(perVMA, v)
-	})
-	if vmaErr != nil {
-		return vmaErr
-	}
-	if len(perVMA) != 0 {
-		return fmt.Errorf("%d leaf-bearing VMAs missing from the VMA set", len(perVMA))
-	}
-	return nil
+	a := auditors.Get().(*Auditor)
+	err := a.AuditKernels(m, ks, pinned)
+	auditors.Put(a)
+	return err
 }

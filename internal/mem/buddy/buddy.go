@@ -214,6 +214,15 @@ func (b *Buddy) Mutations() uint64 { return b.muts }
 // FreeBlocks returns the number of free blocks of the given order.
 func (b *Buddy) FreeBlocks(order int) uint64 { return b.perOrderCount[order] }
 
+// OrderCounts returns the per-order free-block counts as one array — the
+// same numbers FreeBlocks exposes one order at a time, and exactly the
+// histogram metrics.FreeOrderHistogram would build by visiting every
+// free block. The counters are maintained incrementally by every
+// allocation and free (and cross-checked against the lists by
+// CheckInvariants), so snapshot consumers read O(orders) state instead
+// of walking O(free blocks) lists.
+func (b *Buddy) OrderCounts() [addr.MaxOrder + 1]uint64 { return b.perOrderCount }
+
 // Contains reports whether pfn is managed by this allocator.
 func (b *Buddy) Contains(pfn addr.PFN) bool {
 	return pfn >= b.base && uint64(pfn-b.base) < b.npages
@@ -527,11 +536,26 @@ func (b *Buddy) LargestAlignedFree() int {
 	return bits.Len32(b.nonEmpty) - 1
 }
 
+// ScratchWords returns the length a borrowed scratch bitset must have to
+// cover this allocator's managed range, one bit per frame.
+func (b *Buddy) ScratchWords() int { return int((b.npages + 63) / 64) }
+
 // CheckInvariants validates the allocator's internal consistency. It is
 // exercised by tests (including property-based ones) and is deliberately
-// thorough rather than fast.
+// thorough rather than fast. It allocates its own coverage scratch; the
+// audit engine calls CheckInvariantsScratch with a reused arena instead.
 func (b *Buddy) CheckInvariants() error {
-	covered := make(map[addr.PFN]bool)
+	return b.CheckInvariantsScratch(make([]uint64, b.ScratchWords()))
+}
+
+// CheckInvariantsScratch is CheckInvariants over a borrowed coverage
+// bitset (one bit per managed frame, at least ScratchWords words). The
+// scratch is cleared word-at-a-time on entry, so callers can hand the
+// same arena to successive checks without zeroing it between them; its
+// contents on return are unspecified.
+func (b *Buddy) CheckInvariantsScratch(covered []uint64) error {
+	covered = covered[:b.ScratchWords()]
+	clear(covered)
 	var listedFree uint64
 	for o := 0; o <= addr.MaxOrder; o++ {
 		var count uint64
@@ -548,14 +572,15 @@ func (b *Buddy) CheckInvariants() error {
 			if b.prev[i] != prev {
 				return fmt.Errorf("order %d block %d prev-link broken", o, pfn)
 			}
-			n := addr.PFN(addr.OrderPages(o))
-			for i := addr.PFN(0); i < n; i++ {
-				if covered[pfn+i] {
-					return fmt.Errorf("frame %d covered by two free blocks", pfn+i)
+			n := addr.OrderPages(o)
+			for j := uint64(0); j < n; j++ {
+				rel := uint64(i) + j
+				if covered[rel>>6]&(1<<(rel&63)) != 0 {
+					return fmt.Errorf("frame %d covered by two free blocks", pfn+addr.PFN(j))
 				}
-				covered[pfn+i] = true
-				if b.frames.Get(pfn+i).State != frame.Free {
-					return fmt.Errorf("frame %d on free list but state %v", pfn+i, b.frames.Get(pfn+i).State)
+				covered[rel>>6] |= 1 << (rel & 63)
+				if b.fs[rel].State != frame.Free {
+					return fmt.Errorf("frame %d on free list but state %v", pfn+addr.PFN(j), b.fs[rel].State)
 				}
 			}
 			// Canonical coalescing: a listed block's buddy must not
@@ -580,9 +605,9 @@ func (b *Buddy) CheckInvariants() error {
 		return fmt.Errorf("listed free pages %d != counter %d", listedFree, b.freePages)
 	}
 	// Every Free-state frame in range must be covered by a listed block.
-	for pfn := b.base; pfn < b.base+addr.PFN(b.npages); pfn++ {
-		if b.frames.Get(pfn).State == frame.Free && !covered[pfn] {
-			return fmt.Errorf("frame %d free but not on any list", pfn)
+	for rel := uint64(0); rel < b.npages; rel++ {
+		if b.fs[rel].State == frame.Free && covered[rel>>6]&(1<<(rel&63)) == 0 {
+			return fmt.Errorf("frame %d free but not on any list", b.base+addr.PFN(rel))
 		}
 	}
 	if b.sorted {

@@ -323,10 +323,33 @@ func (m *Map) unlink(c *Cluster) {
 }
 
 // CheckInvariants validates map/buddy/frame consistency; test support.
+// It allocates its own membership scratch; the audit engine calls
+// CheckInvariantsScratch with a reused arena instead.
 func (m *Map) CheckInvariants(b *buddy.Buddy) error {
-	// Collect buddy MAX_ORDER membership.
-	onList := make(map[addr.PFN]bool)
-	b.VisitMaxOrder(func(p addr.PFN) { onList[p] = true })
+	return m.CheckInvariantsScratch(b, make([]uint64, scratchWords(b)))
+}
+
+// scratchWords is the borrowed-bitset length CheckInvariantsScratch
+// needs: one bit per MAX_ORDER block of the allocator's managed range.
+func scratchWords(b *buddy.Buddy) int {
+	return int((b.Pages()/addr.MaxOrderPages + 63) / 64)
+}
+
+// CheckInvariantsScratch is CheckInvariants over a borrowed membership
+// bitset (one bit per MAX_ORDER block of b's range; buddy.ScratchWords
+// words are always enough). The scratch is cleared word-at-a-time on
+// entry; its contents on return are unspecified.
+func (m *Map) CheckInvariantsScratch(b *buddy.Buddy, scratch []uint64) error {
+	// Collect buddy MAX_ORDER membership, one bit per block index.
+	onList := scratch[:scratchWords(b)]
+	clear(onList)
+	base := b.Base()
+	var listed uint64
+	b.VisitMaxOrder(func(p addr.PFN) {
+		i := uint64(p-base) / addr.MaxOrderPages
+		onList[i>>6] |= 1 << (i & 63)
+		listed++
+	})
 	var mapped uint64
 	prevEnd := addr.PFN(0)
 	first := true
@@ -341,7 +364,7 @@ func (m *Map) CheckInvariants(b *buddy.Buddy) error {
 			return fmt.Errorf("cluster %v adjacent to previous; should have merged", c)
 		}
 		for p := c.Start; p < c.End(); p += addr.MaxOrderPages {
-			if !onList[p] {
+			if i := uint64(p-base) / addr.MaxOrderPages; p < base || !b.Contains(p) || onList[i>>6]&(1<<(i&63)) == 0 {
 				return fmt.Errorf("cluster %v contains block %d not on MAX_ORDER list", c, p)
 			}
 			if m.frames.Get(p).Cluster != c.id {
@@ -352,8 +375,8 @@ func (m *Map) CheckInvariants(b *buddy.Buddy) error {
 		prevEnd = c.End()
 		first = false
 	}
-	if mapped != uint64(len(onList)) {
-		return fmt.Errorf("map covers %d blocks, buddy list has %d", mapped, len(onList))
+	if mapped != listed {
+		return fmt.Errorf("map covers %d blocks, buddy list has %d", mapped, listed)
 	}
 	// The byID index must agree with the address-sorted list exactly:
 	// a cluster reachable by ID but not linked (or vice versa) means a

@@ -2,6 +2,7 @@ package contigmap
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -269,5 +270,68 @@ func BenchmarkFindFit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.FindFit(addr.MaxOrderPages)
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption walks every failure branch of the
+// map's CheckInvariants by corrupting its internals directly (we are
+// in-package), requiring the named error. The borrowed-scratch rewrite
+// must keep every one of these teeth.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	// twoClusters yields clusters [0,1024) and [2048,3072) by removing
+	// the middle MAX_ORDER block from the free pool.
+	twoClusters := func(t *testing.T) (*Map, *buddy.Buddy) {
+		t.Helper()
+		m, b, _ := newMapped(t, 3)
+		if err := b.AllocBlockAt(addr.MaxOrderPages, addr.MaxOrder); err != nil {
+			t.Fatal(err)
+		}
+		if m.Len() != 2 {
+			t.Fatalf("fixture has %d clusters, want 2", m.Len())
+		}
+		return m, b
+	}
+	tests := []struct {
+		name    string
+		corrupt func(t *testing.T, m *Map, b *buddy.Buddy)
+		want    string
+	}{
+		{"empty-cluster", func(t *testing.T, m *Map, b *buddy.Buddy) {
+			m.head.Blocks = 0
+		}, "empty cluster"},
+		{"overlapping-clusters", func(t *testing.T, m *Map, b *buddy.Buddy) {
+			m.head.next.Start = m.head.End() - addr.MaxOrderPages
+		}, "overlaps or unsorted"},
+		{"unmerged-adjacent", func(t *testing.T, m *Map, b *buddy.Buddy) {
+			m.head.next.Start = m.head.End()
+		}, "should have merged"},
+		{"block-not-on-list", func(t *testing.T, m *Map, b *buddy.Buddy) {
+			// Extend the first cluster over the allocated middle block.
+			m.head.Blocks++
+		}, "not on MAX_ORDER list"},
+		{"stale-back-pointer", func(t *testing.T, m *Map, b *buddy.Buddy) {
+			m.frames.Get(m.head.Start).Cluster = 999
+		}, "back-pointer"},
+		{"coverage-count-drift", func(t *testing.T, m *Map, b *buddy.Buddy) {
+			// A cluster vanishes from both views while its block stays
+			// on the buddy list: coverage totals no longer agree.
+			m.unlink(m.head)
+		}, "map covers"},
+		{"id-index-mismatch", func(t *testing.T, m *Map, b *buddy.Buddy) {
+			m.byID[m.head.id] = m.head.next
+		}, "not indexed under its id"},
+		{"orphan-indexed-cluster", func(t *testing.T, m *Map, b *buddy.Buddy) {
+			m.byID[999] = &Cluster{id: 999, Start: 0, Blocks: 1}
+		}, "list has"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			m, b := twoClusters(t)
+			tc.corrupt(t, m, b)
+			err := m.CheckInvariants(b)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("CheckInvariants = %v, want error containing %q", err, tc.want)
+			}
+		})
 	}
 }

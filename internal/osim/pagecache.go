@@ -66,6 +66,10 @@ type PageCache struct {
 	nextID int
 	// ResidentPages counts cached frames across all files.
 	ResidentPages uint64
+
+	// visitIDs is VisitCached's reused sort scratch, so the audit
+	// engine's per-snapshot cache walk stays allocation-free once warm.
+	visitIDs []int
 }
 
 func newPageCache(k *Kernel) *PageCache {
@@ -88,11 +92,12 @@ func (c *PageCache) File(id int) *File { return c.files[id] }
 // reference on each resident frame when reconciling MapCount against
 // page-table leaves.
 func (c *PageCache) VisitCached(fn func(f *File, pageIdx uint64, pfn addr.PFN)) {
-	ids := make([]int, 0, len(c.files))
+	ids := c.visitIDs[:0]
 	for id := range c.files {
 		ids = append(ids, id)
 	}
 	sort.Ints(ids)
+	c.visitIDs = ids
 	for _, id := range ids {
 		f := c.files[id]
 		for idx := uint64(0); idx < f.Pages(); idx++ {
