@@ -27,6 +27,11 @@
 // -counters writes the counter time series as CSV. Tables are
 // byte-identical with tracing on or off.
 //
+// The figBackends experiment runs every workload across the pluggable
+// translation backends (DESIGN.md §13) — the paper's paged stack plus
+// the hashed, rmm, and ds alternates — and -backend restricts the
+// matrix to a single backend for quick comparisons.
+//
 // Beyond the paper's own figures, the registry carries the
 // fragmentation-aging experiments (DESIGN.md §10): figAging ages every
 // policy across two tenant-churn horizons and figAgingTraj records the
@@ -109,6 +114,7 @@ func main() {
 		jobs       = flag.Int("jobs", runtime.NumCPU(), "max concurrent experiments (1 = sequential)")
 		shardJobs  = flag.Int("shardjobs", 0, "workers stepping each sharded aging campaign's shards: 0 = GOMAXPROCS, 1 = serial; tables are identical at any value")
 		stream     = flag.Uint64("stream", 1_000_000, "measured-phase accesses for translation experiments")
+		backend    = flag.String("backend", "", "restrict figBackends to one translation backend (paged, hashed, rmm, ds); empty = full matrix")
 		settle     = flag.Int("settle", 400, "daemon-settle epochs for contiguity experiments")
 		seed       = flag.Int64("seed", 1, "base workload seed")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to `file`")
@@ -134,6 +140,7 @@ func main() {
 		Seed:         *seed,
 		Jobs:         *jobs,
 		ShardJobs:    *shardJobs,
+		Backend:      *backend,
 	}
 	var tr *trace.Tracer
 	if *traceOut != "" || *counters != "" {

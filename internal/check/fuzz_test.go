@@ -1,6 +1,10 @@
 package check
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/hw/translation"
+)
 
 // Fuzz targets decode arbitrary bytes into the shared op vocabulary
 // (DecodeOps: 4 bytes per op, total mapping) and replay them through
@@ -18,6 +22,11 @@ const (
 	fuzzMaxKernelOps = 192 // ops per native fuzz execution
 	fuzzMaxNestedOps = 96  // nested is ~3x the per-op cost
 	fuzzMaxBuddyOps  = 512
+
+	// Backend runs pay ~9 extra backend probes per op on top of the
+	// machine's own checks, so the caps sit below the kernel-op ones.
+	fuzzMaxBackendOps       = 96
+	fuzzMaxBackendNestedOps = 48
 )
 
 func fuzzConfig(data []byte) Config {
@@ -71,6 +80,48 @@ func FuzzNestedTranslate(f *testing.F) {
 			t.Fatal(err)
 		}
 		if err := m.ApplyOps(DecodeOps(data)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzBackends replays the op stream through a BackendDiffer: the
+// first byte picks the translation backend, nested-vs-native mode, and
+// the placement policy (and still double-duties as the first op's
+// kind), so the fuzzer explores backend × mode × sequence space. The
+// committed seeds in testdata/fuzz/FuzzBackends cover every backend.
+func FuzzBackends(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := Config{CheckEvery: 32}
+		name := translation.BackendPaged
+		if len(data) > 0 {
+			b := data[0]
+			names := translation.Names()
+			name = names[int(b)%len(names)]
+			cfg.Nested = b>>2&1 == 1
+			if b>>3&1 == 1 {
+				cfg.Policy = PolicyCA
+			}
+			cfg.Daemons = !cfg.Nested && b>>4&1 == 1
+			cfg.Seed = uint64(b)
+		}
+		maxOps := fuzzMaxBackendOps
+		if cfg.Nested {
+			maxOps = fuzzMaxBackendNestedOps
+		}
+		if len(data) > 4*maxOps {
+			data = data[:4*maxOps]
+		}
+		d, err := NewBackendDiffer(cfg, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, op := range DecodeOps(data) {
+			if err := d.Step(op); err != nil {
+				t.Fatalf("op %d (%s A=%#x B=%#x C=%#x): %v", i, op.Kind, op.A, op.B, op.C, err)
+			}
+		}
+		if err := d.Finish(); err != nil {
 			t.Fatal(err)
 		}
 	})

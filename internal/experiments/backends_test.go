@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/hw/translation"
+)
+
+func renderString(t *testing.T, tbl *Table) string {
+	t.Helper()
+	var buf bytes.Buffer
+	tbl.Render(&buf)
+	return buf.String()
+}
+
+// TestFigBackendsShape pins the matrix structure: a column per backend
+// in registry order, a native and a virt row per workload plus the two
+// mean rows, and the expected orderings — virtualization costs more
+// than native for the walk-paying backends, and the range-covered rmm
+// backend never exceeds the paged baseline.
+func TestFigBackendsShape(t *testing.T) {
+	p := Params{StreamLen: 20_000, SettleEpochs: 30, Seed: 1, Jobs: 4}
+	tbl, err := FigBackends(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHeader := append([]string{"workload", "mode"}, translation.Names()...)
+	if strings.Join(tbl.Header, ",") != strings.Join(wantHeader, ",") {
+		t.Fatalf("header = %v, want %v", tbl.Header, wantHeader)
+	}
+	names := workloadNames()
+	if got, want := len(tbl.Rows), 2*len(names)+2; got != want {
+		t.Fatalf("rows = %d, want %d", got, want)
+	}
+	parse := func(cell string) float64 {
+		var f float64
+		if _, err := fmtSscanfPct(cell, &f); err != nil {
+			t.Fatalf("cell %q: %v", cell, err)
+		}
+		return f
+	}
+	col := map[string]int{}
+	for i, h := range tbl.Header {
+		col[h] = i
+	}
+	for i, name := range names {
+		nat, virt := tbl.Rows[2*i], tbl.Rows[2*i+1]
+		if nat[0] != name || nat[1] != "native" || virt[0] != name || virt[1] != "virt" {
+			t.Fatalf("row labels for %s: %v / %v", name, nat[:2], virt[:2])
+		}
+		if parse(virt[col["paged"]]) <= parse(nat[col["paged"]]) {
+			t.Errorf("%s: virtualized paged overhead %s not above native %s",
+				name, virt[col["paged"]], nat[col["paged"]])
+		}
+		for _, row := range [][]string{nat, virt} {
+			if parse(row[col["rmm"]]) > parse(row[col["paged"]]) {
+				t.Errorf("%s/%s: rmm overhead %s exceeds paged %s",
+					name, row[1], row[col["rmm"]], row[col["paged"]])
+			}
+		}
+	}
+	for _, row := range tbl.Rows[2*len(names):] {
+		if row[0] != "mean" {
+			t.Fatalf("trailing row %v is not a mean row", row)
+		}
+	}
+}
+
+// fmtSscanfPct parses a "12.34%" cell.
+func fmtSscanfPct(s string, f *float64) (int, error) {
+	return fmt.Sscanf(s, "%f%%", f)
+}
+
+// TestFigBackendsSingleBackendParam pins Params.Backend: the filtered
+// run carries exactly that backend's column and its cells match the
+// full matrix (each cell is an independent simulation, so filtering
+// cannot perturb the others).
+func TestFigBackendsSingleBackendParam(t *testing.T) {
+	p := Params{StreamLen: 10_000, SettleEpochs: 20, Seed: 1, Jobs: 4}
+	full, err := FigBackends(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Backend = translation.BackendHashed
+	only, err := FigBackends(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(only.Header, ","), "workload,mode,hashed"; got != want {
+		t.Fatalf("filtered header = %q, want %q", got, want)
+	}
+	hi := -1
+	for i, h := range full.Header {
+		if h == translation.BackendHashed {
+			hi = i
+		}
+	}
+	for r := range only.Rows {
+		if got, want := only.Rows[r][2], full.Rows[r][hi]; got != want {
+			t.Fatalf("row %d: filtered cell %q != full-matrix cell %q", r, got, want)
+		}
+	}
+	p.Backend = "no-such-backend"
+	if _, err := FigBackends(p); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+// TestFigBackendsJobsInvariance pins that the worker fan-out is an
+// execution detail: the rendered table is byte-identical at any Jobs.
+func TestFigBackendsJobsInvariance(t *testing.T) {
+	p := Params{StreamLen: 10_000, SettleEpochs: 20, Seed: 1, Jobs: 1}
+	seq, err := FigBackends(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Jobs = 8
+	par, err := FigBackends(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := renderString(t, seq), renderString(t, par); a != b {
+		t.Fatalf("figBackends differs between Jobs=1 and Jobs=8:\n%s\n%s", a, b)
+	}
+}

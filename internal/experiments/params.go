@@ -33,6 +33,11 @@ type Params struct {
 	// shards serially. Trajectories and tables are byte-identical at
 	// any value; only wall-clock changes.
 	ShardJobs int
+	// Backend restricts the figBackends scenario matrix to one
+	// translation backend (a translation.Names() value); empty runs the
+	// full cross-product. Every other driver reproduces the paper's
+	// baseline stack and ignores it.
+	Backend string
 	// NoWalkCache disables sim's software walk-memoization cache in
 	// every translation driver. Tables are byte-identical either way
 	// (runner.TestWalkCacheToggleMatches pins this); the toggle exists

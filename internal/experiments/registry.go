@@ -37,6 +37,7 @@ var registry = map[string]Driver{
 	"extra-5level":        ExtraFiveLevel,
 	"figAging":            FigAging,
 	"figAgingTraj":        FigAgingTraj,
+	"figBackends":         FigBackends,
 }
 
 // IDs returns the registered experiment IDs in a stable order.

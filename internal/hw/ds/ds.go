@@ -25,6 +25,12 @@ func NewSegment(base addr.VirtAddr, bytes uint64, off addr.Offset) *Segment {
 	return &Segment{Base: base, Limit: base.Add(bytes), Offset: off}
 }
 
+// Covers reports whether va falls inside the segment without touching
+// the hit/miss counters (hardware range check, no probe accounting).
+func (s *Segment) Covers(va addr.VirtAddr) bool {
+	return va >= s.Base && va < s.Limit
+}
+
 // Lookup translates va through the segment. ok is false outside it.
 func (s *Segment) Lookup(va addr.VirtAddr) (addr.PhysAddr, bool) {
 	if va >= s.Base && va < s.Limit {

@@ -1,0 +1,172 @@
+// Package hashpt models a hashed (flattened) page table: a single
+// open-addressed hash table keyed by 4 KiB virtual page number whose
+// entries resolve directly to host-physical frames. Where a radix walk
+// costs one memory reference per level — and a nested walk the 2D
+// cross-product — a hashed walk costs one reference per probe, so a
+// well-loaded table translates in ~1 reference regardless of nesting
+// depth. The probe count is the cost observable the translation layer
+// prices.
+//
+// The table is a software model, not a hardware cache: it never evicts
+// on its own. The owner is responsible for exact invalidation (Remove
+// on unmap/migrate, Flush on wholesale loss of the backing mapping) —
+// the translation backend drives those from the page-table observer
+// events.
+package hashpt
+
+import "repro/internal/mem/addr"
+
+const (
+	// minSlots is the smallest table; always a power of two so the
+	// probe sequence can mask instead of mod.
+	minSlots = 1 << 10
+	// Grow when live+dead slots reach 3/4 of capacity: linear probing
+	// degrades sharply past that load factor.
+	loadNum, loadDen = 3, 4
+)
+
+type slotState uint8
+
+const (
+	slotEmpty slotState = iota // never used; terminates probe chains
+	slotLive
+	slotDead // tombstone: probe chains continue through it
+)
+
+type slot struct {
+	vpn  uint64
+	pa   addr.PhysAddr // host-physical base of the 4 KiB frame
+	huge bool          // effective leaf was a 2 MiB mapping (TLB fill hint)
+	st   slotState
+}
+
+// Table is an open-addressed, linear-probed hashed page table.
+type Table struct {
+	slots []slot
+	mask  uint64
+	live  int
+	dead  int
+
+	// Fills and Removals count successful Insert and Remove calls;
+	// Rehashes counts grows (each clears accumulated tombstones).
+	Fills, Removals, Rehashes uint64
+}
+
+// New returns an empty table at minimum capacity.
+func New() *Table {
+	return &Table{slots: make([]slot, minSlots), mask: minSlots - 1}
+}
+
+// hash is the splitmix64 finalizer — full-avalanche on sequential VPNs,
+// so dense address spaces spread uniformly.
+func hash(vpn uint64) uint64 {
+	z := vpn + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Len returns the number of live entries.
+func (t *Table) Len() int { return t.live }
+
+// Lookup probes for vpn. probes is the number of slots inspected — the
+// memory-reference count a hashed hardware walker would issue — and is
+// meaningful on hit and miss alike. Lookup never mutates the table.
+func (t *Table) Lookup(vpn uint64) (pa addr.PhysAddr, huge bool, probes int, ok bool) {
+	i := hash(vpn) & t.mask
+	for {
+		probes++
+		s := &t.slots[i]
+		if s.st == slotEmpty {
+			return 0, false, probes, false
+		}
+		if s.st == slotLive && s.vpn == vpn {
+			return s.pa, s.huge, probes, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Insert installs or updates the translation for vpn.
+func (t *Table) Insert(vpn uint64, pa addr.PhysAddr, huge bool) {
+	if (t.live+t.dead+1)*loadDen >= len(t.slots)*loadNum {
+		t.rehash()
+	}
+	i := hash(vpn) & t.mask
+	reuse := -1
+	for {
+		s := &t.slots[i]
+		if s.st == slotEmpty {
+			break
+		}
+		if s.st == slotDead {
+			if reuse < 0 {
+				reuse = int(i)
+			}
+		} else if s.vpn == vpn {
+			s.pa, s.huge = pa, huge
+			t.Fills++
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	if reuse >= 0 {
+		i = uint64(reuse)
+		t.dead--
+	}
+	t.slots[i] = slot{vpn: vpn, pa: pa, huge: huge, st: slotLive}
+	t.live++
+	t.Fills++
+}
+
+// Remove drops the translation for vpn, leaving a tombstone so later
+// probe chains stay intact. Reports whether an entry was removed.
+func (t *Table) Remove(vpn uint64) bool {
+	i := hash(vpn) & t.mask
+	for {
+		s := &t.slots[i]
+		if s.st == slotEmpty {
+			return false
+		}
+		if s.st == slotLive && s.vpn == vpn {
+			*s = slot{st: slotDead}
+			t.live--
+			t.dead++
+			t.Removals++
+			return true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Flush drops every entry, keeping the current capacity.
+func (t *Table) Flush() {
+	for i := range t.slots {
+		t.slots[i] = slot{}
+	}
+	t.live, t.dead = 0, 0
+}
+
+// rehash doubles capacity (or compacts in place when tombstones alone
+// crossed the load threshold) and reinserts live entries, clearing all
+// tombstones.
+func (t *Table) rehash() {
+	n := len(t.slots)
+	// Only grow when live entries justify it; a tombstone-heavy table
+	// compacts at the same size.
+	if (t.live+1)*loadDen*2 >= n*loadNum {
+		n *= 2
+	}
+	old := t.slots
+	t.slots = make([]slot, n)
+	t.mask = uint64(n - 1)
+	t.live, t.dead = 0, 0
+	t.Rehashes++
+	fills := t.Fills // reinsertion is not a fill
+	for i := range old {
+		if old[i].st == slotLive {
+			t.Insert(old[i].vpn, old[i].pa, old[i].huge)
+		}
+	}
+	t.Fills = fills
+}

@@ -1,0 +1,129 @@
+package hashpt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem/addr"
+)
+
+func TestLookupInsertRemove(t *testing.T) {
+	ht := New()
+	if _, _, probes, ok := ht.Lookup(42); ok || probes != 1 {
+		t.Fatalf("empty lookup = ok=%v probes=%d", ok, probes)
+	}
+	ht.Insert(42, 0x1000, false)
+	ht.Insert(43, 0x200000, true)
+	pa, huge, _, ok := ht.Lookup(42)
+	if !ok || pa != 0x1000 || huge {
+		t.Fatalf("Lookup(42) = (%v, %v, %v)", pa, huge, ok)
+	}
+	if pa, huge, _, ok = ht.Lookup(43); !ok || pa != 0x200000 || !huge {
+		t.Fatalf("Lookup(43) = (%v, %v, %v)", pa, huge, ok)
+	}
+	if ht.Len() != 2 {
+		t.Fatalf("Len = %d", ht.Len())
+	}
+	// Update in place.
+	ht.Insert(42, 0x9000, false)
+	if pa, _, _, _ := ht.Lookup(42); pa != 0x9000 {
+		t.Fatalf("update: pa = %v", pa)
+	}
+	if ht.Len() != 2 {
+		t.Fatalf("update changed Len = %d", ht.Len())
+	}
+	if !ht.Remove(42) || ht.Remove(42) {
+		t.Fatal("Remove not idempotent-correct")
+	}
+	if _, _, _, ok := ht.Lookup(42); ok {
+		t.Fatal("removed entry still resolves")
+	}
+	if _, _, _, ok := ht.Lookup(43); !ok {
+		t.Fatal("Remove(42) disturbed 43")
+	}
+}
+
+// TestAgainstMapModel drives a randomized insert/remove/lookup sequence
+// against a plain map reference, through several rehashes, asserting
+// the open-addressed table never diverges and probe chains survive
+// tombstones.
+func TestAgainstMapModel(t *testing.T) {
+	ht := New()
+	ref := map[uint64]addr.PhysAddr{}
+	rng := rand.New(rand.NewSource(7))
+	// Keyspace deliberately small vs. op count so collisions, reuse of
+	// tombstoned slots, and same-key reinsertion all occur.
+	const keys = 8 << 10
+	for i := 0; i < 200_000; i++ {
+		vpn := uint64(rng.Intn(keys))
+		switch rng.Intn(4) {
+		case 0, 1: // insert / update
+			pa := addr.PhysAddr(rng.Uint64() &^ 0xfff)
+			ht.Insert(vpn, pa, vpn%2 == 0)
+			ref[vpn] = pa
+		case 2: // remove
+			if ht.Remove(vpn) != (func() bool { _, ok := ref[vpn]; return ok })() {
+				t.Fatalf("Remove(%d) disagreed with model", vpn)
+			}
+			delete(ref, vpn)
+		case 3: // lookup
+			pa, _, probes, ok := ht.Lookup(vpn)
+			want, wantOK := ref[vpn]
+			if ok != wantOK || (ok && pa != want) {
+				t.Fatalf("Lookup(%d) = (%v,%v), want (%v,%v)", vpn, pa, ok, want, wantOK)
+			}
+			if probes < 1 {
+				t.Fatalf("probes = %d", probes)
+			}
+		}
+		if ht.Len() != len(ref) {
+			t.Fatalf("Len = %d, model %d", ht.Len(), len(ref))
+		}
+	}
+	if ht.Rehashes == 0 {
+		t.Fatal("sequence never rehashed; test is not exercising growth")
+	}
+	// Full sweep after the churn.
+	for vpn, want := range ref {
+		if pa, _, _, ok := ht.Lookup(vpn); !ok || pa != want {
+			t.Fatalf("final sweep: Lookup(%d) = (%v,%v), want %v", vpn, pa, ok, want)
+		}
+	}
+}
+
+func TestFlush(t *testing.T) {
+	ht := New()
+	for i := uint64(0); i < 100; i++ {
+		ht.Insert(i, addr.PhysAddr(i<<12), false)
+	}
+	ht.Flush()
+	if ht.Len() != 0 {
+		t.Fatalf("Len after Flush = %d", ht.Len())
+	}
+	for i := uint64(0); i < 100; i++ {
+		if _, _, _, ok := ht.Lookup(i); ok {
+			t.Fatalf("vpn %d survived Flush", i)
+		}
+	}
+}
+
+// TestProbeCountGrowsUnderLoad sanity-checks the cost observable: a
+// near-capacity probe chain costs more than a fresh table's.
+func TestProbeCountGrowsUnderLoad(t *testing.T) {
+	ht := New()
+	total := 0
+	for i := uint64(0); i < 3*minSlots; i++ {
+		ht.Insert(i, addr.PhysAddr(i<<12), false)
+	}
+	for i := uint64(0); i < 3*minSlots; i++ {
+		_, _, probes, ok := ht.Lookup(i)
+		if !ok {
+			t.Fatalf("vpn %d missing", i)
+		}
+		total += probes
+	}
+	avg := float64(total) / float64(3*minSlots)
+	if avg < 1 || avg > 3 {
+		t.Fatalf("average probes = %.2f, want ~1-3 at <=75%% load", avg)
+	}
+}

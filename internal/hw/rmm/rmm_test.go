@@ -1,6 +1,7 @@
 package rmm
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/mem/addr"
@@ -117,5 +118,110 @@ func TestTranslationConsistencyAcrossRange(t *testing.T) {
 	paN, _ := rt.Lookup(base.Add(12345*addr.PageSize), tab)
 	if paN != pa0+addr.PhysAddr(12345*addr.PageSize) {
 		t.Fatal("range translation not linear")
+	}
+}
+
+// TestRangeTLBRebuildFlush is the property behind the rmm backend's
+// sync() contract (internal/hw/translation): derived range state is
+// only correct if every table rebuild — after an unmap or a migration
+// — is paired with a RangeTLB flush. The randomized walk churns a
+// model mapping set, rebuilds the table each round, and asserts the
+// flushed RangeTLB agrees with Table.Find (the ground truth) on every
+// probe, covered and uncovered, whatever the LRU state. The final
+// section drops the flush once and shows a cached range serving the
+// pre-migration physical address — the stale translation the flush
+// exists to prevent.
+func TestRangeTLBRebuildFlush(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	maps := make(map[uint64]metrics.Mapping) // by VA page
+	add := func() {
+		vaPage := uint64(1+rng.Intn(64)) * 1 << 10
+		if _, dup := maps[vaPage]; dup {
+			return
+		}
+		maps[vaPage] = mk(vaPage, uint64(rng.Intn(1<<20)), uint64(1+rng.Intn(512)))
+	}
+	for i := 0; i < 8; i++ {
+		add()
+	}
+	build := func() *Table {
+		ms := make([]metrics.Mapping, 0, len(maps))
+		for _, m := range maps {
+			ms = append(ms, m)
+		}
+		return NewTable(ms)
+	}
+	tab := build()
+	rt := NewRangeTLB(4) // far fewer entries than ranges: constant eviction
+
+	probe := func(round int) {
+		// Probes inside every model mapping plus gap/boundary addresses.
+		for _, m := range maps {
+			off := uint64(rng.Intn(int(m.Pages))) * uint64(addr.PageSize)
+			va := m.VA.Add(off)
+			pa, ok := rt.Lookup(va, tab)
+			if !ok {
+				t.Fatalf("round %d: %s covered by model but RangeTLB says uncovered", round, va)
+			}
+			if want := m.PA + addr.PhysAddr(off); pa != want {
+				t.Fatalf("round %d: %s -> %s, model says %s", round, va, pa, want)
+			}
+			if wantR, ok := tab.Find(va); !ok || wantR.Offset.Target(va) != pa {
+				t.Fatalf("round %d: RangeTLB and Table disagree at %s", round, va)
+			}
+		}
+		for i := 0; i < 8; i++ {
+			va := addr.VirtAddr(rng.Intn(1 << 28))
+			_, got := rt.Lookup(va, tab)
+			_, want := tab.Find(va)
+			if got != want {
+				t.Fatalf("round %d: coverage disagreement at %s: RangeTLB %v, Table %v", round, va, got, want)
+			}
+		}
+	}
+
+	for round := 0; round < 60; round++ {
+		// Churn: unmap, migrate, or map — then rebuild + flush, the
+		// backend's sync() in miniature.
+		switch rng.Intn(3) {
+		case 0: // unmap one mapping
+			for va := range maps {
+				delete(maps, va)
+				break
+			}
+		case 1: // migrate one mapping to new frames
+			for va, m := range maps {
+				m.PA = addr.PhysAddr(rng.Intn(1<<20)) << addr.PageShift
+				maps[va] = m
+				break
+			}
+		case 2:
+			add()
+		}
+		tab = build()
+		rt.Flush()
+		probe(round)
+	}
+
+	// Non-vacuity: the same churn without the flush serves stale PAs.
+	var victim metrics.Mapping
+	for _, m := range maps {
+		victim = m
+		break
+	}
+	if _, ok := rt.Lookup(victim.VA, tab); !ok {
+		t.Fatal("victim mapping should be covered")
+	}
+	moved := victim
+	moved.PA += addr.PhysAddr(addr.MaxOrderPages) << addr.PageShift
+	maps[uint64(victim.VA)>>addr.PageShift] = moved
+	tab = build() // rebuild WITHOUT rt.Flush()
+	pa, ok := rt.Lookup(victim.VA, tab)
+	if !ok || pa != victim.PA {
+		t.Fatalf("expected the unflushed RangeTLB to serve the stale PA %s, got %s (ok=%v)", victim.PA, pa, ok)
+	}
+	rt.Flush()
+	if pa, _ := rt.Lookup(victim.VA, tab); pa != moved.PA {
+		t.Fatalf("flush did not restore agreement: got %s, want %s", pa, moved.PA)
 	}
 }

@@ -1,4 +1,4 @@
-package sim
+package translation
 
 import (
 	"repro/internal/mem/addr"
@@ -87,4 +87,11 @@ func (c *walkCache) fill(vpn uint64, hpaPage addr.PhysAddr, leafHuge bool, cost 
 		valid:    true,
 	}
 	c.Fills++
+}
+
+// flush invalidates every entry in place (no reallocation).
+func (c *walkCache) flush() {
+	for i := range c.entries {
+		c.entries[i].valid = false
+	}
 }

@@ -61,10 +61,36 @@ type node struct {
 	live     int          // populated slots, for reclaim
 }
 
+// Observer receives a table's translation-visible mutations — the
+// mapping-change events the kernel emits through Map4K/Map2M (demand
+// faults, promotion re-mapping, CoW copies), Unmap (teardown, promotion
+// tear-down, CoW remaps), and Redirect (migration). Translation
+// backends subscribe to keep derived structures (range tables, direct
+// segments, hashed mirrors) exactly invalidated; the generation counter
+// carries the same signal in aggregate for callers that only need a
+// staleness check. SetContig moves the generation but emits no event:
+// it changes walk metadata (the contiguity bit), never where a virtual
+// page translates to.
+//
+// Callbacks run synchronously inside the mutation; they must not mutate
+// the table.
+type Observer interface {
+	// Mapped reports a new leaf at va covering pages base pages.
+	Mapped(va addr.VirtAddr, pages uint64)
+	// Unmapped reports leaf removal: va is the leaf base (4 KiB or
+	// 2 MiB aligned), pages its extent.
+	Unmapped(va addr.VirtAddr, pages uint64)
+	// Redirected reports the leaf at va now points at a different
+	// frame (page migration) with unchanged extent.
+	Redirected(va addr.VirtAddr, pages uint64)
+}
+
 // Table is a multi-level (4- or 5-level) page table.
 type Table struct {
 	root *node
 	top  int // top level index: 3 for 4-level, 4 for 5-level
+
+	obs []Observer // mapping-event subscribers (usually empty)
 
 	mapped4K   uint64 // live 4 KiB leaves
 	mapped2M   uint64 // live 2 MiB leaves
@@ -204,6 +230,9 @@ func (t *Table) Map4K(v addr.VirtAddr, pfn addr.PFN, flags Flags) {
 	if flags.Has(Contig) {
 		t.ContigBits++
 	}
+	for _, o := range t.obs {
+		o.Mapped(v, 1)
+	}
 }
 
 // Map2M installs a 2 MiB translation. v and pfn must be 2 MiB aligned.
@@ -235,6 +264,27 @@ func (t *Table) Map2M(v addr.VirtAddr, pfn addr.PFN, flags Flags) {
 	t.gen++
 	if flags.Has(Contig) {
 		t.ContigBits++
+	}
+	for _, o := range t.obs {
+		o.Mapped(v, 512)
+	}
+}
+
+// AddObserver subscribes obs to the table's mapping-change events. The
+// hot translation path is unaffected while no observer is registered
+// (the usual case); events fire only from mutations.
+func (t *Table) AddObserver(obs Observer) {
+	t.obs = append(t.obs, obs)
+}
+
+// RemoveObserver unsubscribes obs (matched by identity). Removing an
+// observer that was never added is a no-op.
+func (t *Table) RemoveObserver(obs Observer) {
+	for i, o := range t.obs {
+		if o == obs {
+			t.obs = append(t.obs[:i], t.obs[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -379,12 +429,19 @@ func (t *Table) SetContig(v addr.VirtAddr, on bool) bool {
 // Lookup's pointer, Redirect bumps the generation, so walk caches never
 // serve the pre-migration frame.
 func (t *Table) Redirect(v addr.VirtAddr, pfn addr.PFN) bool {
-	pte, _, ok := t.Lookup(v)
+	pte, pages, ok := t.Lookup(v)
 	if !ok {
 		return false
 	}
 	pte.PFN = pfn
 	t.gen++
+	base := v.PageDown()
+	if pages == 512 {
+		base = v.HugeDown()
+	}
+	for _, o := range t.obs {
+		o.Redirected(base, pages)
+	}
 	return true
 }
 
@@ -407,6 +464,9 @@ func (t *Table) Unmap(v addr.VirtAddr) (PTE, uint64, bool) {
 			if e.Flags.Has(Contig) {
 				t.ContigBits--
 			}
+			for _, o := range t.obs {
+				o.Unmapped(v.HugeDown(), 512)
+			}
 			return e, 512, true
 		}
 		if l == 0 {
@@ -420,6 +480,9 @@ func (t *Table) Unmap(v addr.VirtAddr) (PTE, uint64, bool) {
 			t.gen++
 			if e.Flags.Has(Contig) {
 				t.ContigBits--
+			}
+			for _, o := range t.obs {
+				o.Unmapped(v.PageDown(), 1)
 			}
 			return e, 1, true
 		}

@@ -1,7 +1,9 @@
 package pagetable
 
 import (
+	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -250,4 +252,68 @@ func TestGenerationBumps(t *testing.T) {
 	bump("Unmap 4K", func() { pt.Unmap(0x1000) })
 	bump("Unmap 2M", func() { pt.Unmap(addr.VirtAddr(addr.HugeSize)) })
 	same("failed Unmap", func() { pt.Unmap(0x1000) })
+}
+
+// recObserver records every mapping event for assertion.
+type recObserver struct {
+	events []string
+}
+
+func (r *recObserver) Mapped(va addr.VirtAddr, pages uint64) {
+	r.events = append(r.events, fmt.Sprintf("map %v %d", va, pages))
+}
+func (r *recObserver) Unmapped(va addr.VirtAddr, pages uint64) {
+	r.events = append(r.events, fmt.Sprintf("unmap %v %d", va, pages))
+}
+func (r *recObserver) Redirected(va addr.VirtAddr, pages uint64) {
+	r.events = append(r.events, fmt.Sprintf("redirect %v %d", va, pages))
+}
+
+// TestObserverEvents pins the mapping-event contract translation
+// backends rely on for exact invalidation: every PA-changing mutation
+// fires with the leaf base and extent; flag-only mutations (SetContig)
+// and failed mutations fire nothing; RemoveObserver silences a
+// subscriber without disturbing the others.
+func TestObserverEvents(t *testing.T) {
+	pt := New()
+	rec := &recObserver{}
+	other := &recObserver{}
+	pt.AddObserver(rec)
+	pt.AddObserver(other)
+
+	huge := addr.VirtAddr(addr.HugeSize)
+	pt.Map4K(0x1000, 7, 0)
+	pt.Map2M(huge, 512, 0)
+	pt.SetContig(0x1000, true) // flag-only: no event
+	if !pt.Redirect(0x1800, 99) { // mid-page VA: event carries the page base
+		t.Fatal("Redirect failed")
+	}
+	pt.Redirect(0xdead000, 1) // unmapped: no event
+	pt.Unmap(huge + 0x3000)   // mid-huge-leaf VA: event carries the 2M base
+	pt.Unmap(0x1000)
+	pt.Unmap(0x1000) // already gone: no event
+
+	want := []string{
+		"map v0x1000 1",
+		"map v0x200000 512",
+		"redirect v0x1000 1",
+		"unmap v0x200000 512",
+		"unmap v0x1000 1",
+	}
+	if !reflect.DeepEqual(rec.events, want) {
+		t.Fatalf("events = %q, want %q", rec.events, want)
+	}
+	if !reflect.DeepEqual(other.events, want) {
+		t.Fatalf("second observer diverged: %q", other.events)
+	}
+
+	pt.RemoveObserver(rec)
+	pt.Map4K(0x5000, 8, 0)
+	if len(rec.events) != len(want) {
+		t.Fatal("removed observer still receiving events")
+	}
+	if len(other.events) != len(want)+1 {
+		t.Fatal("remaining observer stopped receiving events")
+	}
+	pt.RemoveObserver(rec) // double remove is a no-op
 }

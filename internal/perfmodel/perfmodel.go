@@ -58,6 +58,16 @@ func PagingOverhead(r sim.Result) float64 {
 	return r.WalkCycles / IdealCycles(r.Accesses)
 }
 
+// BackendOverhead is the cost-model hook for the pluggable translation
+// backends (translation.Backend): each backend accumulates its own
+// cycle currency in Result.WalkCycles — radix walks for paged, probe
+// chains plus fill walks for hashed, uncovered fallbacks for rmm/ds —
+// so overhead is uniformly C_backend / T_ideal. For the default paged
+// backend this coincides with PagingOverhead.
+func BackendOverhead(r sim.Result) float64 {
+	return r.WalkCycles / IdealCycles(r.Accesses)
+}
+
 // SpotOverhead is O_SpOT: no-predictions expose the whole walk,
 // mispredictions add the flush penalty on top, correct predictions are
 // free (Table IV).

@@ -33,7 +33,10 @@ func benchAccesses(b testing.TB, w workloads.Workload, n uint64) []workloads.Acc
 // state outside the benchmark timer.
 func warmMachine(b testing.TB, env *workloads.Env, cfg Config, accs []workloads.Access) *machine {
 	b.Helper()
-	m := newMachine(env, cfg.withDefaults())
+	m, err := newMachine(env, cfg.withDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
 	for _, a := range accs {
 		if err := m.step(a); err != nil {
 			b.Fatal(err)
@@ -111,7 +114,7 @@ func BenchmarkWalkCached(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, _, _, ok := m.translate(accs[i%len(accs)].VA); !ok {
+		if w := m.be.Translate(accs[i%len(accs)].VA); !w.OK {
 			b.Fatal("unresolvable access in warmed benchmark")
 		}
 	}

@@ -1,11 +1,14 @@
 // Package sim is the execution engine of the hardware emulation: it
-// drives a workload's access stream through the modelled L2 STLB and,
-// on every miss, exercises all the translation schemes under study
-// simultaneously — the nested/native page walk (baseline), SpOT
-// prediction, the vRMM range TLB, and Direct Segments. The schemes do
-// not interact, so one pass yields every scheme's counters on an
-// identical miss stream, mirroring the paper's BadgerTrap methodology
-// of emulating hardware inside the fault path of a real run (§V).
+// drives a workload's access stream through a pluggable translation
+// backend (default: the modelled L2 STLB over the nested/native page
+// walk) and, on every miss, exercises all the translation schemes
+// under study simultaneously — SpOT prediction, the vRMM range TLB,
+// and Direct Segments. The schemes do not interact, so one pass yields
+// every scheme's counters on an identical miss stream, mirroring the
+// paper's BadgerTrap methodology of emulating hardware inside the
+// fault path of a real run (§V). The alternate backends (hashed, rmm,
+// ds; see internal/hw/translation) replace the baseline walk itself,
+// turning the loop into a Virtuoso-style backend matrix.
 package sim
 
 import (
@@ -14,18 +17,18 @@ import (
 	"repro/internal/hw/ds"
 	"repro/internal/hw/rmm"
 	"repro/internal/hw/spot"
-	"repro/internal/hw/tlb"
-	"repro/internal/hw/walker"
-	"repro/internal/mem/addr"
+	"repro/internal/hw/translation"
 	"repro/internal/metrics"
-	"repro/internal/osim/pagetable"
 	"repro/internal/trace"
-	"repro/internal/virt"
 	"repro/internal/workloads"
 )
 
 // Config selects the hardware parameters (defaults = Table II scaled).
 type Config struct {
+	// Backend selects the translation backend (translation.Names():
+	// "paged", "hashed", "rmm", "ds"). Empty selects the default paged
+	// backend — the TLB + walker stack every paper experiment uses.
+	Backend string
 	// TLBEntries/TLBWays describe the last-level TLB. The default is a
 	// 32-entry 4-way structure: the paper's 1536-entry STLB scaled
 	// roughly with the workload footprints (~1/512), preserving the
@@ -37,7 +40,8 @@ type Config struct {
 	// RangeTLBEntries is the vRMM range TLB capacity (paper: 32).
 	RangeTLBEntries int
 	// EnableSchemes toggles SpOT/vRMM/DS emulation (they need the
-	// mapping state of a populated process).
+	// mapping state of a populated process). Schemes emulate against
+	// the baseline walk, so they require the default paged backend.
 	EnableSchemes bool
 	// SpotNoConfidence/SpotNoFilter are the SpOT ablation switches
 	// (§IV-C mechanisms turned off individually).
@@ -46,6 +50,7 @@ type Config struct {
 	// ShadowPaging replaces the nested-walk baseline with shadow
 	// paging for virtualized environments: hits walk the composite
 	// table at native cost; shadow misses add a hypervisor exit.
+	// Paged backend only.
 	ShadowPaging bool
 	// ShadowExitCycles is the cost of one shadow-sync hypervisor exit
 	// (default 1200 cycles, a VM-exit round trip).
@@ -93,8 +98,9 @@ type Result struct {
 	Accesses uint64
 	Misses   uint64
 
-	// WalkCycles is the total baseline page-walk cost (native or
-	// nested, by environment) of all misses.
+	// WalkCycles is the total translation cost the backend charged for
+	// all misses (the baseline page-walk cost under the default paged
+	// backend).
 	WalkCycles float64
 	// AvgWalkCycles is WalkCycles/Misses.
 	AvgWalkCycles float64
@@ -134,38 +140,46 @@ const accessBatch = 1024
 
 // machine bundles the hardware state of one simulation run. Its step
 // method is the steady-state per-access hot loop and performs zero
-// heap allocations (pinned by TestRunZeroAllocs and the
-// BenchmarkRun* allocation reports); everything that allocates
+// heap allocations (pinned by TestRunZeroAllocs across every backend
+// and the BenchmarkRun* allocation reports); everything that allocates
 // happens in newMachine or on the rare fault/error paths.
 type machine struct {
-	env    *workloads.Env
-	cfg    Config
-	tlb    *tlb.TLB
-	wc     *walkCache
-	shadow *virt.ShadowTable
-	sp     *spot.Table
-	rt     *rmm.RangeTLB
-	rtab   *rmm.Table
-	seg    *ds.Segment
-	res    Result
-	tr     *trace.Tracer
-	wm     walker.Meter
+	env  *workloads.Env
+	cfg  Config
+	be   translation.Backend
+	sp   *spot.Table
+	rt   *rmm.RangeTLB
+	rtab *rmm.Table
+	seg  *ds.Segment
+	res  Result
+	tr   *trace.Tracer
 }
 
 // newMachine builds the per-run hardware state.
-func newMachine(env *workloads.Env, cfg Config) *machine {
-	m := &machine{env: env, cfg: cfg, tlb: tlb.New(cfg.TLBEntries, cfg.TLBWays)}
-	m.setTracer(cfg.Tracer)
-	if !cfg.NoWalkCache {
-		if env.VM != nil {
-			m.wc = newWalkCache(env.VM.NestedTables(env.Proc))
-		} else {
-			m.wc = newWalkCache(env.Proc.PT, nil)
+func newMachine(env *workloads.Env, cfg Config) (*machine, error) {
+	if cfg.Backend != "" && cfg.Backend != translation.BackendPaged {
+		// The schemes emulate against the baseline walk and shadow
+		// paging replaces it; both are properties of the paged stack.
+		if cfg.EnableSchemes {
+			return nil, fmt.Errorf("sim: EnableSchemes requires the paged backend, not %q", cfg.Backend)
+		}
+		if cfg.ShadowPaging {
+			return nil, fmt.Errorf("sim: ShadowPaging requires the paged backend, not %q", cfg.Backend)
 		}
 	}
-	if cfg.ShadowPaging && env.VM != nil {
-		m.shadow = env.VM.NewShadow(env.Proc)
+	be, err := translation.New(cfg.Backend, env, translation.Config{
+		TLBEntries:       cfg.TLBEntries,
+		TLBWays:          cfg.TLBWays,
+		RangeTLBEntries:  cfg.RangeTLBEntries,
+		NoWalkCache:      cfg.NoWalkCache,
+		ShadowPaging:     cfg.ShadowPaging,
+		ShadowExitCycles: cfg.ShadowExitCycles,
+	})
+	if err != nil {
+		return nil, err
 	}
+	m := &machine{env: env, cfg: cfg, be: be}
+	m.setTracer(cfg.Tracer)
 	if cfg.EnableSchemes {
 		m.sp = spot.New(cfg.SpotEntries, cfg.SpotWays)
 		m.sp.DisableConfidence = cfg.SpotNoConfidence
@@ -174,7 +188,7 @@ func newMachine(env *workloads.Env, cfg Config) *machine {
 		m.rtab = rmm.NewTable(extractMappings(env))
 		m.seg = buildSegment(env)
 	}
-	return m
+	return m, nil
 }
 
 // setTracer attaches (or, with nil, detaches) the tracer from every
@@ -183,14 +197,17 @@ func newMachine(env *workloads.Env, cfg Config) *machine {
 // branch-only hot path.
 func (m *machine) setTracer(t *trace.Tracer) {
 	m.tr = t
-	m.wm.T = t
-	m.tlb.SetTracer(t)
+	m.be.SetTracer(t)
 }
 
 // Run drives n accesses of the workload stream through the machinery.
 // The environment must already be set up (populated) by the workload.
 func Run(env *workloads.Env, stream workloads.Stream, cfg Config) (Result, error) {
-	m := newMachine(env, cfg.withDefaults())
+	m, err := newMachine(env, cfg.withDefaults())
+	if err != nil {
+		return Result{}, err
+	}
+	defer m.be.Close()
 	bs := workloads.Batched(stream)
 	buf := make([]workloads.Access, accessBatch)
 	for {
@@ -220,63 +237,44 @@ func (m *machine) finish() Result {
 	return m.res
 }
 
-// step processes one access: TLB probe, and on a miss the baseline
-// walk (memoized), the optional shadow walk, the demand-fault retry,
-// and the per-scheme emulation.
+// step processes one access: backend fast-path probe, and on a miss
+// the backend translation, the demand-fault retry, and the per-scheme
+// emulation.
 func (m *machine) step(a workloads.Access) error {
 	m.res.Accesses++
-	if m.tlb.Lookup(a.VA) {
+	if m.be.Lookup(a.VA) {
 		return nil
 	}
 	m.res.Misses++
 
-	hpa, leafHuge, cost, gContig, hContig, ok := m.translate(a.VA)
-	if m.shadow != nil {
-		if shpa, lvl, synced, sok := m.shadow.Walk(a.VA); sok {
-			hpa, ok = shpa, true
-			leafHuge = lvl == pagetable.HugeLevel
-			cost = walker.NativeCost(lvl)
-			if synced {
-				cost += m.cfg.ShadowExitCycles
-				m.res.ShadowSyncs++
-			}
-		}
+	w := m.be.Translate(a.VA)
+	if w.ShadowSynced {
+		m.res.ShadowSyncs++
 	}
-	if !ok {
+	if !w.OK {
 		// The stream touched something unpopulated: fault it in and
 		// retry (counted; should be rare).
 		m.res.Faults++
 		if err := m.env.Touch(a.VA, a.Write); err != nil {
 			return fmt.Errorf("sim: fault at %v: %w", a.VA, err)
 		}
-		hpa, leafHuge, cost, gContig, hContig, ok = m.translate(a.VA)
-		if !ok {
+		w = m.be.Translate(a.VA)
+		if w.ShadowSynced {
+			m.res.ShadowSyncs++
+		}
+		if !w.OK {
 			return fmt.Errorf("sim: unresolvable access at %v", a.VA)
 		}
-		// Under shadow paging the faulted access still goes through the
-		// shadow table: the guest's new mapping forces a shadow sync
-		// exit, not a plain nested/native walk.
-		if m.shadow != nil {
-			if shpa, lvl, synced, sok := m.shadow.Walk(a.VA); sok {
-				hpa = shpa
-				leafHuge = lvl == pagetable.HugeLevel
-				cost = walker.NativeCost(lvl)
-				if synced {
-					cost += m.cfg.ShadowExitCycles
-					m.res.ShadowSyncs++
-				}
-			}
-		}
 	}
-	m.res.WalkCycles += cost
-	m.tlb.Insert(a.VA, leafHuge)
+	m.res.WalkCycles += w.Cost
+	m.be.Insert(a.VA, w)
 
 	if !m.cfg.EnableSchemes {
 		return nil
 	}
 	// SpOT: predict before the walk, verify after.
 	pred, did := m.sp.Predict(a.PC, a.VA)
-	switch m.sp.Verify(a.PC, a.VA, hpa, pred, did, gContig && hContig) {
+	switch m.sp.Verify(a.PC, a.VA, w.HPA, pred, did, w.GContig && w.HContig) {
 	case spot.Correct:
 		m.res.SpotCorrect++
 		if m.tr != nil {
@@ -303,63 +301,11 @@ func (m *machine) step(a workloads.Access) error {
 	return nil
 }
 
-// translate performs the baseline walk for va through the walk cache:
-// a hot miss is one array probe; only cold or invalidated VPNs pay the
-// full trie descent of resolve.
-func (m *machine) translate(va addr.VirtAddr) (hpa addr.PhysAddr, leafHuge bool, cost float64, gContig, hContig, ok bool) {
-	if m.wc == nil {
-		return m.resolve(va)
-	}
-	vpn := uint64(va) >> addr.PageShift
-	if e, hit := m.wc.probe(vpn); hit {
-		return e.hpa + addr.PhysAddr(uint64(va)&addr.PageMask), e.leafHuge, e.cost, e.gContig, e.hContig, true
-	}
-	hpa, leafHuge, cost, gContig, hContig, ok = m.resolve(va)
-	if ok {
-		// The in-page offset of hpa equals va's: caching the page-base
-		// hPA makes the entry valid for every offset within the VPN.
-		m.wc.fill(vpn, hpa-addr.PhysAddr(uint64(va)&addr.PageMask), leafHuge, cost, gContig, hContig)
-	}
-	return hpa, leafHuge, cost, gContig, hContig, ok
-}
-
-// resolve performs the baseline translation for va: a nested walk in a
-// VM, a native walk otherwise. It returns the final physical address,
-// whether the effective TLB entry is huge (both dimensions huge in a
-// VM), the walk cost in cycles, and the contiguity bits (the native
-// case reports the single PTE bit in both positions). Costs route
-// through the walk meter so every priced walk becomes a trace span.
-func (m *machine) resolve(va addr.VirtAddr) (hpa addr.PhysAddr, leafHuge bool, cost float64, gContig, hContig, ok bool) {
-	env := m.env
-	if env.VM != nil {
-		w := env.VM.Walk(env.Proc, va)
-		if !w.OK {
-			return 0, false, 0, false, false, false
-		}
-		huge := w.GuestLevel == pagetable.HugeLevel && w.HostLevel == pagetable.HugeLevel
-		return w.HPA, huge, m.wm.Nested(va, w), w.GuestContig, w.HostContig, true
-	}
-	pte, level, _, okWalk := env.Proc.PT.Walk(va)
-	if !okWalk {
-		return 0, false, 0, false, false, false
-	}
-	span := uint64(addr.PageSize)
-	if level == pagetable.HugeLevel {
-		span = addr.HugeSize
-	}
-	pa := pte.PFN.Addr() + addr.PhysAddr(uint64(va)&(span-1))
-	contig := pte.Flags.Has(pagetable.Contig)
-	return pa, level == pagetable.HugeLevel, m.wm.Native(va, level), contig, contig, true
-}
-
 // extractMappings pulls the current contiguous mappings of the
 // environment's process: full 2D mappings in a VM, native mappings
 // otherwise. These feed the vRMM range table and the DS segment.
 func extractMappings(env *workloads.Env) []metrics.Mapping {
-	if env.VM != nil {
-		return env.VM.Mappings2D(env.Proc)
-	}
-	return metrics.FromPageTable(env.Proc.PT)
+	return translation.ExtractMappings(env)
 }
 
 // buildSegment models Direct Segments' dual direct mode: one segment
@@ -368,7 +314,9 @@ func extractMappings(env *workloads.Env) []metrics.Mapping {
 // extent with the offset of its first mapping — accesses whose actual
 // translation differs would, on real DS hardware, have been *placed*
 // at the segment target; for overhead accounting only in/out of the
-// segment range matters.
+// segment range matters. (The ds *backend* instead sizes its segment
+// to the largest real contiguous mapping, because it must return
+// exact physical addresses; see translation.BackendDS.)
 func buildSegment(env *workloads.Env) *ds.Segment {
 	return segmentFor(extractMappings(env))
 }
