@@ -373,15 +373,46 @@ func (c *Campaign) Run() (*Trajectory, error) {
 	return tr, nil
 }
 
-// churnStep performs one tenant lifecycle action, chosen from a fixed
-// deterministic mix (arrive 30 %, touch 50 %, exit 20 %) adjusted at
-// the population bounds.
-func (c *Campaign) churnStep() error {
-	roll := c.rng.Intn(10)
+// ChurnAction is one tenant lifecycle action drawn from the campaign's
+// fixed churn mix.
+type ChurnAction uint8
+
+const (
+	// ChurnArrive admits a new tenant.
+	ChurnArrive ChurnAction = iota
+	// ChurnTouch re-touches an existing tenant's footprint.
+	ChurnTouch
+	// ChurnExit tears a tenant down.
+	ChurnExit
+)
+
+// ChurnRoll draws one lifecycle action from the fixed deterministic mix
+// (arrive 30 %, touch 50 %, exit 20 %) adjusted at the population
+// bounds: an empty population always arrives, a full one never does,
+// and the last live tenant never exits. It consumes exactly one rng
+// draw, so callers can interleave it with their own parameter draws and
+// stay deterministic. The campaigns' churnStep/shardChurn draw from it,
+// and tracein.Synth reuses it so synthesized serving traces mirror the
+// aging campaigns' arrival/exit dynamics.
+func ChurnRoll(rng *rand.Rand, live, maxTenants int) ChurnAction {
+	roll := rng.Intn(10)
 	switch {
-	case len(c.tenants) == 0 || (roll < 3 && len(c.tenants) < c.cfg.MaxTenants):
+	case live == 0 || (roll < 3 && live < maxTenants):
+		return ChurnArrive
+	case roll < 8 || live == 1:
+		return ChurnTouch
+	default:
+		return ChurnExit
+	}
+}
+
+// churnStep performs one tenant lifecycle action, chosen from the
+// ChurnRoll mix.
+func (c *Campaign) churnStep() error {
+	switch ChurnRoll(c.rng, len(c.tenants), c.cfg.MaxTenants) {
+	case ChurnArrive:
 		return c.arrive()
-	case roll < 8 || len(c.tenants) == 1:
+	case ChurnTouch:
 		return c.touch()
 	default:
 		c.exitTenant(c.rng.Intn(len(c.tenants)))
@@ -625,11 +656,10 @@ func (c *Campaign) shardMaxTenants(idx int) int {
 
 // shardChurn is churnStep on one shard's private stream.
 func (c *Campaign) shardChurn(s *shard) error {
-	roll := s.rng.Intn(10)
-	switch {
-	case len(s.tenants) == 0 || (roll < 3 && len(s.tenants) < c.shardMaxTenants(s.idx)):
+	switch ChurnRoll(s.rng, len(s.tenants), c.shardMaxTenants(s.idx)) {
+	case ChurnArrive:
 		return c.shardArrive(s)
-	case roll < 8 || len(s.tenants) == 1:
+	case ChurnTouch:
 		return c.shardTouch(s)
 	default:
 		s.exit(s.rng.Intn(len(s.tenants)))

@@ -109,7 +109,13 @@ type Machine struct {
 	Stats RunStats
 }
 
-func policyFor(name string) (osim.Placement, bool, error) {
+// PlacementFor resolves a Config.Policy name to the placement policy
+// it denotes plus whether the machine's MAX_ORDER free lists should be
+// sorted (CA paging's next-fit search wants them ordered, matching how
+// the experiments run it). Exported so the trace-replay engine
+// (internal/tracein) builds its shard kernels from the exact same
+// policy vocabulary the differential machine is checked under.
+func PlacementFor(name string) (osim.Placement, bool, error) {
 	switch name {
 	case "", PolicyDefault:
 		return osim.DefaultPolicy{}, false, nil
@@ -127,7 +133,7 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.CheckEvery <= 0 {
 		cfg.CheckEvery = defaultCheckEvery
 	}
-	pol, sorted, err := policyFor(cfg.Policy)
+	pol, sorted, err := PlacementFor(cfg.Policy)
 	if err != nil {
 		return nil, err
 	}

@@ -74,8 +74,8 @@ func TestTableRender(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	t.Parallel()
-	if len(IDs()) != 25 {
-		t.Fatalf("registered experiments = %d, want 25", len(IDs()))
+	if len(IDs()) != 26 {
+		t.Fatalf("registered experiments = %d, want 26", len(IDs()))
 	}
 	if _, err := Lookup("fig7"); err != nil {
 		t.Fatal(err)

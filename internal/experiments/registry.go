@@ -38,6 +38,7 @@ var registry = map[string]Driver{
 	"figAging":            FigAging,
 	"figAgingTraj":        FigAgingTraj,
 	"figBackends":         FigBackends,
+	"figReplay":           FigReplay,
 }
 
 // IDs returns the registered experiment IDs in a stable order.

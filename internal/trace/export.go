@@ -20,6 +20,7 @@ const (
 	laneSim
 	lanePhase
 	laneAging
+	laneReplay
 
 	// laneShardBase is where the dynamic per-shard lanes start: shard s
 	// of a sharded aging campaign renders at tid laneShardBase+s, named
@@ -37,6 +38,7 @@ var laneNames = map[int]string{
 	laneSim:    "sim",
 	lanePhase:  "phase",
 	laneAging:  "aging",
+	laneReplay: "replay",
 }
 
 // kindLane maps every kind to its lane.
@@ -57,6 +59,9 @@ var kindLane = [numKinds]int{
 	// EvShardEpoch is re-homed per event onto laneShardBase+shard in
 	// the exporter; EvShardBarrier stays on the aging lane.
 	EvShardEpoch: laneAging, EvShardBarrier: laneAging,
+	// EvReplayBatch is re-homed onto the shard lane too; laneReplay is
+	// its static home for traces without shard metadata.
+	EvReplayBatch: laneReplay,
 }
 
 // kindArgs names each kind's A/B/C arguments for the Chrome export;
@@ -91,6 +96,7 @@ var kindArgs = [numKinds][3]string{
 	EvAgingSnapshot:  {"step", "rss_pages", "frag_permille"},
 	EvShardEpoch:     {"shard", "step", "clock"},
 	EvShardBarrier:   {"step", "retried", "clock"},
+	EvReplayBatch:    {"shard", "events", "faults"},
 }
 
 // spanKinds are exported as Chrome "X" (complete) events with a
@@ -100,6 +106,7 @@ var spanKinds = map[Kind]bool{
 	EvWalkNative: true, EvWalk2D: true,
 	EvSimBatch: true, EvPhase: true,
 	EvShardEpoch: true, EvShardBarrier: true,
+	EvReplayBatch: true,
 }
 
 // counterKinds are exported as Chrome "C" (counter) events so Perfetto
@@ -154,7 +161,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Args: map[string]any{"name": "memsim"}}); err != nil {
 			return err
 		}
-		for _, tid := range []int{laneKernel, laneDaemon, laneBuddy, laneTLB, laneWalker, laneVirt, laneSim, lanePhase, laneAging} {
+		for _, tid := range []int{laneKernel, laneDaemon, laneBuddy, laneTLB, laneWalker, laneVirt, laneSim, lanePhase, laneAging, laneReplay} {
 			if err := put(chromeEvent{Name: "thread_name", Ph: "M", PID: 1, TID: tid,
 				Args: map[string]any{"name": laneNames[tid]}}); err != nil {
 				return err
@@ -170,7 +177,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		// lane the trace actually uses before emitting events.
 		shards := -1
 		for _, e := range events {
-			if e.Kind == EvShardEpoch && int(e.A) > shards {
+			if (e.Kind == EvShardEpoch || e.Kind == EvReplayBatch) && int(e.A) > shards {
 				shards = int(e.A)
 			}
 		}
@@ -190,7 +197,7 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 				PID:  1,
 				TID:  kindLane[e.Kind],
 			}
-			if e.Kind == EvShardEpoch {
+			if e.Kind == EvShardEpoch || e.Kind == EvReplayBatch {
 				ce.TID = laneShardBase + int(e.A)
 			}
 			switch {

@@ -108,6 +108,11 @@ const (
 	// cross-shard effects — deferred OOM reclaim and page-cache churn —
 	// in shard-index order (step, retried, clock_ns).
 	EvShardBarrier
+	// EvReplayBatch spans one trace-replay progress window of a shard
+	// stream (shard, events, faults): the replay engine emits one per
+	// SampleEvery applied events. Like EvShardEpoch it is re-homed onto
+	// the shard's dynamic lane by the Chrome exporter.
+	EvReplayBatch
 
 	numKinds
 )
@@ -127,6 +132,7 @@ var kindNames = [numKinds]string{
 	"sim.batch", "phase",
 	"aging.snapshot",
 	"shard.epoch", "shard.barrier",
+	"replay.batch",
 }
 
 // String returns the stable event-kind name.
